@@ -1,0 +1,99 @@
+// Ablation (DESIGN.md §4): flip-flop filtering vs a single stable EWMA.
+//
+// The flip-flop monitor (paper §5.1) switches to an agile EWMA when a run
+// of out-of-control samples indicates a persistent path change, so the
+// estimate catches up in a few samples; a stable-only filter reacts with
+// its small α and lags. Measured directly on the PathMonitor with a
+// synthetic level shift, plus end-to-end on a transient-competitor
+// scenario (Fig. 8's setup).
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "core/path_monitor.h"
+#include "exp/runner.h"
+#include "exp/scenario.h"
+#include "exp/workload.h"
+#include "sim/random.h"
+
+using namespace jtp;
+
+namespace {
+
+// Samples until the filter's mean is within 10% of a shifted level.
+int catch_up_samples(bool flipflop, double from, double to, double noise,
+                     std::uint64_t seed) {
+  core::PathMonitorConfig cfg;
+  if (!flipflop) cfg.alpha_agile = cfg.alpha_stable;  // agile == stable
+  core::PathMonitor m(cfg);
+  sim::Rng rng(seed);
+  for (int i = 0; i < 300; ++i) m.add(from + rng.normal(0.0, noise));
+  for (int i = 1; i <= 500; ++i) {
+    m.add(to + rng.normal(0.0, noise));
+    if (std::abs(m.mean() - to) < 0.1 * std::abs(to - from)) return i;
+  }
+  return 500;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opt = bench::parse_options(argc, argv);
+
+  std::printf("=== Ablation: flip-flop filter vs stable-only EWMA ===\n\n");
+  std::printf("--- (a) catch-up time after a level shift (samples to reach "
+              "90%% of the shift) ---\n");
+  exp::TablePrinter tp({"shift", "noise", "flip-flop", "stable-only"}, 13);
+  tp.header(std::cout);
+  for (const auto& [from, to, noise] :
+       {std::tuple{10.0, 3.0, 0.2}, {10.0, 3.0, 0.8}, {2.0, 8.0, 0.2},
+        {2.0, 8.0, 0.8}}) {
+    sim::Summary ff, st;
+    for (std::uint64_t s = 1; s <= 20; ++s) {
+      ff.add(catch_up_samples(true, from, to, noise, opt.seed + s));
+      st.add(catch_up_samples(false, from, to, noise, opt.seed + s));
+    }
+    char shift[24];
+    std::snprintf(shift, sizeof shift, "%.0f->%.0f", from, to);
+    tp.row(std::cout, {std::string(shift), exp::fmt(noise, 1),
+                       exp::fmt(ff.mean(), 1), exp::fmt(st.mean(), 1)});
+  }
+
+  std::printf("\n--- (b) end-to-end: transient competitor (Fig. 8 setup) ---\n");
+  // With a sluggish monitor, flow 1 reacts late to the competitor's
+  // arrival/departure: more queue drops on arrival, wasted idle capacity
+  // after departure.
+  for (bool flipflop : {true, false}) {
+    double drops = 0, delivered = 0;
+    const std::size_t runs = opt.pick_runs(3, 10);
+    for (std::size_t r = 0; r < runs; ++r) {
+      exp::ScenarioConfig sc;
+      sc.seed = opt.seed + 71 * (r + 1);
+      sc.proto = exp::Proto::kJtp;
+      sc.fading = false;
+      sc.loss_good = 0.02;
+      auto cfg = exp::make_network_config(sc);
+      auto topo = phy::Topology::linear(5, exp::kSpacingM, exp::kRangeM);
+      net::Network net(std::move(topo), cfg);
+      exp::FlowManager fm(net, exp::Proto::kJtp);
+      exp::FlowOptions fo;
+      if (!flipflop) fo.monitor.alpha_agile = fo.monitor.alpha_stable;
+      fm.create(0, 4, 0, 0.0, fo);
+      auto& f2 = fm.create(0, 4, 0, 400.0, fo);
+      net.simulator().schedule(650.0, [&f2] {
+        f2.jtp.sender->stop();
+        f2.jtp.receiver->stop();
+      });
+      net.run_until(1000.0);
+      const auto m = fm.collect(1000.0);
+      drops += static_cast<double>(m.queue_drops) / runs;
+      delivered += m.delivered_kbit() / runs;
+    }
+    std::printf("  %-12s queueDrops=%.1f  delivered=%.0f kbit\n",
+                flipflop ? "flip-flop" : "stable-only", drops, delivered);
+  }
+  std::printf("\nexpected: the flip-flop filter converges in a handful of "
+              "samples regardless of noise; the stable-only filter takes "
+              "~5-20x longer.\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Shared helpers for the figure/table reproduction binaries.
+//
+// Every bench accepts:
+//   --full        paper-scale durations and seed counts (slower)
+//   --seed N      base seed (default 1)
+//   --runs N      override the number of independent runs
+//   --csv PATH    also write the series to a CSV file
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+
+namespace jtp::bench {
+
+struct Options {
+  bool full = false;
+  std::uint64_t seed = 1;
+  std::optional<std::size_t> runs;
+  std::string csv_path;
+
+  std::size_t pick_runs(std::size_t quick, std::size_t paper) const {
+    if (runs) return *runs;
+    return full ? paper : quick;
+  }
+  double pick_duration(double quick, double paper) const {
+    return full ? paper : quick;
+  }
+};
+
+inline Options parse_options(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--full") == 0) {
+      o.full = true;
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      o.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--runs") == 0 && i + 1 < argc) {
+      o.runs = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
+      o.csv_path = argv[++i];
+    }
+  }
+  return o;
+}
+
+}  // namespace jtp::bench

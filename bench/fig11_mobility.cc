@@ -1,0 +1,114 @@
+// Figure 11 (paper §6.1.2): random topologies with random-waypoint
+// mobility at 0.1 / 1 / 5 m/s (15 nodes).
+//
+// (a) energy per delivered bit, (b) goodput, for JTP/ATP/TCP;
+// (c) the split between end-to-end (source) retransmissions and locally
+//     recovered packets (cache hits) for JTP, normalized by delivered data
+//     — showing caches stay useful even while paths churn.
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "bench_util.h"
+#include "exp/runner.h"
+#include "exp/scenario.h"
+#include "exp/workload.h"
+
+using namespace jtp;
+
+namespace {
+
+std::vector<std::pair<core::NodeId, core::NodeId>> pick_flows(
+    std::size_t n_nodes, std::uint64_t seed, int n_flows) {
+  sim::Rng rng(seed);
+  auto fr = rng.derive("flow-endpoints");
+  std::vector<std::pair<core::NodeId, core::NodeId>> out;
+  for (int i = 0; i < n_flows; ++i) {
+    const auto a = static_cast<core::NodeId>(fr.integer(n_nodes));
+    auto b = static_cast<core::NodeId>(fr.integer(n_nodes));
+    if (a == b) b = static_cast<core::NodeId>((b + 1) % n_nodes);
+    out.push_back({a, b});
+  }
+  return out;
+}
+
+exp::RunMetrics one_run(double speed, exp::Proto proto, std::uint64_t seed,
+                        double duration) {
+  exp::ScenarioConfig sc;
+  sc.seed = seed;
+  sc.proto = proto;
+  auto net = exp::make_mobile(15, speed, sc);
+  exp::FlowManager fm(*net, proto);
+  for (const auto& [src, dst] : pick_flows(15, seed, 5))
+    fm.create(src, dst, 0, 10.0);
+  net->run_until(duration);
+  return fm.collect(duration);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opt = bench::parse_options(argc, argv);
+  const std::size_t n_runs = opt.pick_runs(3, 10);
+  const double duration = opt.pick_duration(1000.0, 4000.0);
+
+  std::printf("=== Figure 11: mobility (random waypoint, 15 nodes) ===\n");
+  std::printf("5 random flows, %.0f s, %zu runs\n\n", duration, n_runs);
+
+  exp::TablePrinter tp({"speed", "jtp E/b", "atp E/b", "tcp E/b",
+                        "jtp kbps", "atp kbps", "tcp kbps"}, 15);
+  std::printf("E/b = energy per delivered bit (uJ/bit)\n");
+  tp.header(std::cout);
+
+  struct CachePoint {
+    double speed, src_rtx, cache_hits;
+  };
+  std::vector<CachePoint> cache_points;
+
+  for (double speed : {0.1, 1.0, 5.0}) {
+    std::vector<std::string> row{exp::fmt(speed, 1)};
+    std::vector<std::string> goodput_cells;
+    for (const auto proto :
+         {exp::Proto::kJtp, exp::Proto::kAtp, exp::Proto::kTcp}) {
+      auto runs = exp::run_seeds(n_runs, opt.seed, [&](std::uint64_t s) {
+        return one_run(speed, proto, s, duration);
+      });
+      const auto e = exp::aggregate(runs, [](const exp::RunMetrics& m) {
+        return m.energy_per_bit_uj();
+      });
+      const auto g = exp::aggregate(runs, [](const exp::RunMetrics& m) {
+        return m.per_flow_goodput_kbps_mean;
+      });
+      row.push_back(exp::with_ci(e, 1));
+      goodput_cells.push_back(exp::with_ci(g, 3));
+      if (proto == exp::Proto::kJtp) {
+        const auto rtx = exp::aggregate(runs, [](const exp::RunMetrics& m) {
+          return m.delivered_packets
+                     ? static_cast<double>(m.source_retransmissions) /
+                           static_cast<double>(m.delivered_packets)
+                     : 0.0;
+        });
+        const auto hits = exp::aggregate(runs, [](const exp::RunMetrics& m) {
+          return m.delivered_packets
+                     ? static_cast<double>(m.cache_retransmissions) /
+                           static_cast<double>(m.delivered_packets)
+                     : 0.0;
+        });
+        cache_points.push_back({speed, rtx.mean, hits.mean});
+      }
+    }
+    row.insert(row.end(), goodput_cells.begin(), goodput_cells.end());
+    tp.row(std::cout, row);
+  }
+
+  std::printf("\n--- (c) end-to-end vs locally recovered packets (JTP), "
+              "normalized by delivered data ---\n");
+  std::printf("%8s %12s %12s\n", "speed", "source rtx", "cache hits");
+  for (const auto& p : cache_points)
+    std::printf("%8.1f %12.4f %12.4f\n", p.speed, p.src_rtx, p.cache_hits);
+
+  std::printf("\nexpected shape: energy/bit rises with speed for all; jtp "
+              "stays lowest; cache hits remain a large share of recoveries "
+              "even under mobility.\n");
+  return 0;
+}

@@ -1,0 +1,105 @@
+// google-benchmark micro-benchmarks of the hot per-packet paths: event
+// queue, LRU cache, path monitor, reliability math, TDMA slot lookup.
+#include <benchmark/benchmark.h>
+
+#include "core/cache.h"
+#include "core/path_monitor.h"
+#include "core/rate_controller.h"
+#include "core/reliability.h"
+#include "mac/tdma_schedule.h"
+#include "sim/event_queue.h"
+#include "sim/random.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using namespace jtp;
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  sim::EventQueue q;
+  std::uint64_t t = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i)
+      q.push(static_cast<double>((t * 37 + i * 11) % 1000), [] {});
+    while (!q.empty()) benchmark::DoNotOptimize(q.pop().at);
+    ++t;
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_EventQueuePushPop);
+
+void BM_SimulatorScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator s;
+    for (int i = 0; i < 256; ++i)
+      s.schedule((i * 37) % 100, [] {});
+    s.run();
+    benchmark::DoNotOptimize(s.events_executed());
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_SimulatorScheduleRun);
+
+void BM_CacheInsertLookup(benchmark::State& state) {
+  core::PacketCache cache(1000);
+  core::Packet p;
+  p.type = core::PacketType::kData;
+  p.flow = 1;
+  core::SeqNo seq = 0;
+  for (auto _ : state) {
+    p.seq = seq++;
+    cache.insert(p);
+    benchmark::DoNotOptimize(cache.lookup(1, seq > 500 ? seq - 500 : 0));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheInsertLookup);
+
+void BM_PathMonitorAdd(benchmark::State& state) {
+  core::PathMonitor m;
+  sim::Rng rng(1);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(m.add(5.0 + rng.uniform()));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PathMonitorAdd);
+
+void BM_ReliabilityPerPacket(benchmark::State& state) {
+  // The full iJTP first-transmission math: target, budget, achieved,
+  // header rewrite.
+  double lt = 0.1;
+  for (auto _ : state) {
+    const double q = core::per_link_success_target(lt, 5);
+    const int m = core::attempt_budget(q, 0.1, 5);
+    const double qa = core::achieved_link_success(0.1, m);
+    benchmark::DoNotOptimize(core::update_loss_tolerance(lt, qa));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ReliabilityPerPacket);
+
+void BM_RateControllerUpdate(benchmark::State& state) {
+  core::RateController c;
+  double a = 3.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c.update(a));
+    a = a > 2.9 ? 0.1 : 3.0;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RateControllerUpdate);
+
+void BM_TdmaNextOwnedSlot(benchmark::State& state) {
+  mac::TdmaSchedule s(static_cast<std::size_t>(state.range(0)), 0.035, 7);
+  double t = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.next_owned_slot(3, t));
+    t += 1.37;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TdmaNextOwnedSlot)->Arg(8)->Arg(25);
+
+}  // namespace
+
+BENCHMARK_MAIN();

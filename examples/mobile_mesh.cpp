@@ -1,0 +1,51 @@
+// A mobile ad-hoc mesh: 12 nodes under random-waypoint motion carrying
+// three concurrent JTP flows, with routes recomputed periodically from the
+// (stale) link-state view. Demonstrates that in-network caches keep
+// recovering packets even while paths churn (paper §6.1.2, Fig. 11).
+//
+//   $ ./mobile_mesh [speed_mps]
+#include <cstdio>
+#include <cstdlib>
+
+#include "exp/scenario.h"
+#include "exp/workload.h"
+
+int main(int argc, char** argv) {
+  using namespace jtp;
+  const double speed = argc > 1 ? std::atof(argv[1]) : 1.0;
+
+  exp::ScenarioConfig scenario;
+  scenario.seed = 99;
+  scenario.proto = exp::Proto::kJtp;
+  auto network = exp::make_mobile(12, speed, scenario);
+
+  exp::FlowManager flows(*network, exp::Proto::kJtp);
+  flows.create(0, 11, 0, 5.0);
+  flows.create(3, 8, 0, 10.0);
+  flows.create(6, 1, 0, 15.0);
+
+  const double duration = 1200.0;
+  std::printf("12-node mesh, random waypoint at %.1f m/s, 3 flows, %.0f s\n",
+              speed, duration);
+  for (double t = 200; t <= duration; t += 200) {
+    network->run_until(t);
+    const auto m = flows.collect(t);
+    std::printf("  t=%5.0f  delivered=%6llu pkts  cache-rtx=%4llu  "
+                "src-rtx=%4llu  route-drops=%4llu  E/bit=%.2f uJ\n", t,
+                static_cast<unsigned long long>(m.delivered_packets),
+                static_cast<unsigned long long>(m.cache_retransmissions),
+                static_cast<unsigned long long>(m.source_retransmissions),
+                static_cast<unsigned long long>(m.route_drops),
+                m.energy_per_bit_uj());
+  }
+
+  const auto m = flows.collect(duration);
+  std::printf("\nFinal: %.1f kbit delivered, %.2f uJ/bit, goodput %.3f kbps "
+              "per flow\n",
+              m.delivered_kbit(), m.energy_per_bit_uj(),
+              m.per_flow_goodput_kbps_mean);
+  std::printf("Route drops occur while the link-state view is stale after "
+              "movement;\nSNACK-driven recovery (caches first, source as "
+              "last resort) repairs them.\n");
+  return 0;
+}

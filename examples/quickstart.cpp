@@ -1,0 +1,50 @@
+// Quickstart: a JTP bulk transfer over a 5-node wireless chain.
+//
+// Builds a linear JAVeLEN-like network, attaches one JTP flow from node 0
+// to node 4, transfers 200 packets (160 KB) with full reliability, and
+// prints delivery/energy statistics.
+//
+//   $ ./quickstart
+#include <cstdio>
+
+#include "exp/scenario.h"
+#include "exp/workload.h"
+
+int main() {
+  using namespace jtp;
+
+  // 1. Describe the scenario: 5 nodes in a chain, Gilbert-Elliott links
+  //    (10% of the time in a bad state), paper-default JTP parameters.
+  exp::ScenarioConfig scenario;
+  scenario.seed = 42;
+  scenario.proto = exp::Proto::kJtp;
+  auto network = exp::make_linear(/*net_size=*/5, scenario);
+
+  // 2. Attach a JTP flow and start a fixed-size transfer.
+  exp::FlowManager flows(*network, exp::Proto::kJtp);
+  exp::FlowOptions options;
+  options.loss_tolerance = 0.0;  // bulk data: deliver everything
+  auto& flow = flows.create(/*src=*/0, /*dst=*/4, /*total_packets=*/200,
+                            /*start_delay_s=*/0.0, options);
+
+  // 3. Run the simulation until the transfer completes (or 1 hour).
+  network->run_until(3600.0);
+
+  // 4. Report.
+  const auto m = flows.collect(network->simulator().now());
+  std::printf("JTP quickstart: 200 x 800 B over a 5-node chain\n");
+  std::printf("  finished:               %s (t=%.1f s)\n",
+              flow.finished() ? "yes" : "no", flow.completed_at);
+  std::printf("  packets delivered:      %llu\n",
+              static_cast<unsigned long long>(flow.delivered_packets()));
+  std::printf("  source retransmissions: %llu\n",
+              static_cast<unsigned long long>(flow.source_rtx()));
+  std::printf("  cache retransmissions:  %llu (recovered in-network)\n",
+              static_cast<unsigned long long>(m.cache_retransmissions));
+  std::printf("  ACKs sent:              %llu\n",
+              static_cast<unsigned long long>(m.acks_sent));
+  std::printf("  total energy:           %.3f J\n", m.total_energy_j);
+  std::printf("  energy per bit:         %.2f uJ/bit\n",
+              m.energy_per_bit_uj());
+  return flow.finished() ? 0 : 1;
+}

@@ -1,0 +1,69 @@
+// Loss-tolerant media streaming with per-layer importance.
+//
+// The scenario the paper's adjustable-reliability design targets (§3):
+// a video-like source whose base layer must arrive (0% loss tolerance,
+// high energy importance β) while the enhancement layer tolerates 20%
+// loss. Both stream over the same lossy 6-node chain; the network spends
+// per-link retransmission effort according to each packet's tolerance.
+//
+//   $ ./video_stream
+#include <cstdio>
+
+#include "exp/scenario.h"
+#include "exp/workload.h"
+
+int main() {
+  using namespace jtp;
+
+  exp::ScenarioConfig scenario;
+  scenario.seed = 7;
+  scenario.proto = exp::Proto::kJtp;
+  scenario.loss_good = 0.12;  // noisy environment
+  scenario.loss_bad = 0.60;
+  auto network = exp::make_linear(6, scenario);
+
+  exp::FlowManager flows(*network, exp::Proto::kJtp);
+
+  // Base layer: every packet matters; spend energy generously.
+  exp::FlowOptions base;
+  base.loss_tolerance = 0.0;
+  base.energy_beta = 6.0;  // high importance: big budget headroom
+  auto& base_flow = flows.create(0, 5, 0, 0.0, base);
+
+  // Enhancement layer: a fifth of it may be dropped without visible harm.
+  exp::FlowOptions enhancement;
+  enhancement.loss_tolerance = 0.20;
+  enhancement.energy_beta = 2.0;  // lower importance
+  auto& enh_flow = flows.create(0, 5, 0, 0.0, enhancement);
+
+  const double duration = 900.0;
+  network->run_until(duration);
+
+  auto report = [&](const char* name,
+                    const exp::FlowManager::FlowHandle& f) {
+    const double offered =
+        static_cast<double>(f.delivered_packets() + f.waived_packets());
+    const double delivered_share =
+        offered > 0 ? f.delivered_packets() / offered : 0.0;
+    std::printf("  %-12s delivered=%llu waived=%llu (%.1f%% of stream) "
+                "src-rtx=%llu\n",
+                name, static_cast<unsigned long long>(f.delivered_packets()),
+                static_cast<unsigned long long>(f.waived_packets()),
+                100.0 * delivered_share,
+                static_cast<unsigned long long>(f.source_rtx()));
+  };
+
+  std::printf("Two-layer stream over a lossy 6-node chain (%.0f s)\n",
+              duration);
+  report("base", base_flow);
+  report("enhancement", enh_flow);
+
+  const auto m = flows.collect(duration);
+  std::printf("  total energy %.2f J, %.2f uJ per delivered bit\n",
+              m.total_energy_j, m.energy_per_bit_uj());
+  std::printf("\nThe enhancement layer trades ~20%% of its packets for a "
+              "smaller\nretransmission budget at every hop (eqs. 2-4), so "
+              "the base layer's\nreliability costs the network less than "
+              "full reliability for all.\n");
+  return 0;
+}

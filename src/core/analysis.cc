@@ -1,0 +1,95 @@
+#include "core/analysis.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "sim/random.h"
+
+namespace jtp::core {
+
+namespace {
+void check_args(int k, int hops, double p, int attempts = 1) {
+  if (k < 0) throw std::invalid_argument("k < 0");
+  if (hops < 1) throw std::invalid_argument("hops < 1");
+  if (p < 0.0 || p >= 1.0) throw std::invalid_argument("p outside [0,1)");
+  if (attempts < 1) throw std::invalid_argument("attempts < 1");
+}
+}  // namespace
+
+double expected_tx_with_caching(int k, int hops, double p_loss) {
+  check_args(k, hops, p_loss);
+  return static_cast<double>(k) * hops / (1.0 - p_loss);
+}
+
+double expected_link_tx_capped(double p_loss, int attempts) {
+  check_args(1, 1, p_loss, attempts);
+  return (1.0 - std::pow(p_loss, attempts)) / (1.0 - p_loss);
+}
+
+double expected_tx_without_caching_exact(int k, int hops, double p_loss,
+                                         int attempts) {
+  check_args(k, hops, p_loss, attempts);
+  const double q = 1.0 - std::pow(p_loss, attempts);  // per-link success
+  const double q_e2e = std::pow(q, hops);
+  const double e_s = static_cast<double>(k) / q_e2e;  // source sends (eq. E[S])
+  const double e_tl = expected_link_tx_capped(p_loss, attempts);
+  double sum_qi = 0.0;
+  for (int i = 0; i < hops; ++i) sum_qi += std::pow(q, i);
+  return e_s * sum_qi * e_tl;
+}
+
+double expected_tx_without_caching_approx(int k, int hops, double p_loss,
+                                          int attempts) {
+  check_args(k, hops, p_loss, attempts);
+  const double q = 1.0 - std::pow(p_loss, attempts);
+  return static_cast<double>(k) * hops /
+         (std::pow(q, hops - 1) * (1.0 - p_loss));
+}
+
+double caching_gain(int hops, double p_loss, int attempts) {
+  check_args(1, hops, p_loss, attempts);
+  const double q = 1.0 - std::pow(p_loss, attempts);
+  return 1.0 / std::pow(q, hops - 1);
+}
+
+double simulate_tx_without_caching(int k, int hops, double p_loss,
+                                   int attempts, sim::Rng& rng) {
+  check_args(k, hops, p_loss, attempts);
+  std::uint64_t tx = 0;
+  for (int pkt = 0; pkt < k; ++pkt) {
+    bool delivered = false;
+    while (!delivered) {
+      delivered = true;
+      for (int h = 0; h < hops; ++h) {
+        bool hop_ok = false;
+        for (int a = 0; a < attempts; ++a) {
+          ++tx;
+          if (!rng.bernoulli(p_loss)) {
+            hop_ok = true;
+            break;
+          }
+        }
+        if (!hop_ok) {
+          delivered = false;  // end-to-end retransmission from the source
+          break;
+        }
+      }
+    }
+  }
+  return static_cast<double>(tx);
+}
+
+double simulate_tx_with_caching(int k, int hops, double p_loss,
+                                sim::Rng& rng) {
+  check_args(k, hops, p_loss);
+  std::uint64_t tx = 0;
+  for (int pkt = 0; pkt < k; ++pkt) {
+    for (int h = 0; h < hops; ++h) {
+      // Ideal caching: the upstream node repairs until the hop succeeds.
+      tx += static_cast<std::uint64_t>(rng.geometric(1.0 - p_loss));
+    }
+  }
+  return static_cast<double>(tx);
+}
+
+}  // namespace jtp::core

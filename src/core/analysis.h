@@ -1,0 +1,47 @@
+// Analytic models of in-network caching gain (paper §4.1, eqs. 5–6).
+//
+// E[T_tot^JTP]  = k·H/(1-p)                                  (eq. 5)
+// E[T_tot^JNC] ≈ k·H / ((1-p^n)^{H-1} (1-p))                 (eq. 6)
+// plus the exact (pre-approximation) JNC form and a Monte-Carlo
+// cross-check used by tests and the analysis bench.
+#pragma once
+
+#include <cstdint>
+
+namespace jtp::sim {
+class Rng;
+}
+
+namespace jtp::core {
+
+// Expected total node transmissions to deliver k packets over H hops with
+// ideal in-network caching (infinite caches, symmetric path): eq. (5).
+double expected_tx_with_caching(int k, int hops, double p_loss);
+
+// Expected per-link transmissions when a packet enters a link with at most
+// n attempts: E[T_l^JNC] = (1 - p^n)/(1 - p).
+double expected_link_tx_capped(double p_loss, int attempts);
+
+// Exact eq. (6) middle form: sum_{i=0}^{H-1} E[S]·q^i·E[T_l], with
+// E[S] = k/q_e2e and q = 1 - p^n.
+double expected_tx_without_caching_exact(int k, int hops, double p_loss,
+                                         int attempts);
+
+// The paper's closed-form approximation on the right of eq. (6).
+double expected_tx_without_caching_approx(int k, int hops, double p_loss,
+                                          int attempts);
+
+// Ratio JNC/JTP ≈ 1/(1-p^n)^{H-1}: the factor caching saves.
+double caching_gain(int hops, double p_loss, int attempts);
+
+// Monte-Carlo estimate of total node transmissions without caching:
+// each packet is attempted up to `attempts` times per hop; any hop failure
+// restarts the packet from the source. Used to validate eq. (6).
+double simulate_tx_without_caching(int k, int hops, double p_loss,
+                                   int attempts, sim::Rng& rng);
+
+// Monte-Carlo estimate with ideal caching: per-hop geometric repair.
+double simulate_tx_with_caching(int k, int hops, double p_loss,
+                                sim::Rng& rng);
+
+}  // namespace jtp::core

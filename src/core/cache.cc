@@ -1,0 +1,70 @@
+#include "core/cache.h"
+
+#include <stdexcept>
+
+namespace jtp::core {
+
+PacketCache::PacketCache(std::size_t capacity_packets)
+    : capacity_(capacity_packets) {
+  if (capacity_packets == 0)
+    throw std::invalid_argument("PacketCache: capacity must be >= 1");
+}
+
+void PacketCache::touch(Entry& e) {
+  lru_.splice(lru_.begin(), lru_, e.lru_pos);
+}
+
+void PacketCache::evict_one() {
+  const Key victim = lru_.back();
+  lru_.pop_back();
+  map_.erase(victim);
+  ++evictions_;
+}
+
+void PacketCache::insert(const Packet& p) {
+  if (!p.is_data()) return;  // only data packets are cacheable
+  const Key key{p.flow, p.seq};
+  ++insertions_;
+  if (auto it = map_.find(key); it != map_.end()) {
+    it->second.packet = p;
+    it->second.packet.is_source_retransmission = false;
+    it->second.packet.is_cache_retransmission = false;
+    touch(it->second);
+    return;
+  }
+  if (map_.size() >= capacity_) evict_one();
+  lru_.push_front(key);
+  Entry e{p, lru_.begin()};
+  e.packet.is_source_retransmission = false;
+  e.packet.is_cache_retransmission = false;
+  map_.emplace(key, std::move(e));
+}
+
+std::optional<Packet> PacketCache::lookup(FlowId flow, SeqNo seq) {
+  const Key key{flow, seq};
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  touch(it->second);
+  return it->second.packet;
+}
+
+bool PacketCache::contains(FlowId flow, SeqNo seq) const {
+  return map_.contains(Key{flow, seq});
+}
+
+void PacketCache::erase_flow(FlowId flow) {
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->flow == flow) {
+      map_.erase(*it);
+      it = lru_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace jtp::core

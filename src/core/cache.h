@@ -1,0 +1,77 @@
+// In-network packet cache (paper §4).
+//
+// Every intermediate node keeps an LRU cache of traversing data packets so
+// that a SNACK can be satisfied by the farthest-downstream node that still
+// holds the packet, avoiding an end-to-end retransmission. "Recently
+// manipulated" covers both insertion and a retransmission hit, so packets
+// under active repair stay resident. Capacity is shared across flows.
+#pragma once
+
+#include <cstddef>
+#include <list>
+#include <optional>
+#include <unordered_map>
+
+#include "core/packet.h"
+#include "core/types.h"
+
+namespace jtp::core {
+
+class PacketCache {
+ public:
+  explicit PacketCache(std::size_t capacity_packets);
+
+  // Inserts (or refreshes) a copy of `p`. Duplicate (flow, seq) overwrites
+  // and counts as a manipulation. Source/cache retransmission markers are
+  // stripped: a cached copy is just a copy.
+  void insert(const Packet& p);
+
+  // Looks up (flow, seq); on hit, the entry is refreshed (LRU touch) and a
+  // copy is returned.
+  std::optional<Packet> lookup(FlowId flow, SeqNo seq);
+
+  // Non-refreshing probe, for tests/inspection.
+  bool contains(FlowId flow, SeqNo seq) const;
+
+  // Drops every entry of a flow (e.g. connection teardown).
+  void erase_flow(FlowId flow);
+
+  std::size_t size() const { return map_.size(); }
+  std::size_t capacity() const { return capacity_; }
+
+  // Counters for the experiment harness.
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::uint64_t evictions() const { return evictions_; }
+  std::uint64_t insertions() const { return insertions_; }
+
+ private:
+  struct Key {
+    FlowId flow;
+    SeqNo seq;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      return std::hash<std::uint64_t>{}((static_cast<std::uint64_t>(k.flow) << 32) ^
+                                        (k.seq * 0x9e3779b97f4a7c15ULL));
+    }
+  };
+  struct Entry {
+    Packet packet;
+    std::list<Key>::iterator lru_pos;
+  };
+
+  void touch(Entry& e);
+  void evict_one();
+
+  std::size_t capacity_;
+  std::list<Key> lru_;  // front = most recently manipulated
+  std::unordered_map<Key, Entry, KeyHash> map_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t insertions_ = 0;
+};
+
+}  // namespace jtp::core

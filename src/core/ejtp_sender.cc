@@ -1,0 +1,222 @@
+#include "core/ejtp_sender.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace jtp::core {
+
+EjtpSender::EjtpSender(Env& env, PacketSink& sink, SenderConfig cfg)
+    : env_(env),
+      sink_(sink),
+      cfg_(cfg),
+      rate_pps_(std::max(cfg.initial_rate_pps, cfg.min_rate_pps)),
+      energy_budget_(cfg.initial_energy_budget),
+      ack_timeout_s_(cfg.default_timeout_s) {}
+
+EjtpSender::~EjtpSender() { stop(); }
+
+void EjtpSender::start(std::uint64_t total_packets) {
+  running_ = true;
+  total_packets_ = total_packets;
+  complete_reported_ = false;
+  arm_pacing();
+  arm_watchdog();
+}
+
+void EjtpSender::stop() {
+  running_ = false;
+  if (pacing_armed_) {
+    env_.cancel(pacing_timer_);
+    pacing_armed_ = false;
+  }
+  if (watchdog_armed_) {
+    env_.cancel(watchdog_timer_);
+    watchdog_armed_ = false;
+  }
+}
+
+void EjtpSender::arm_pacing(double extra_delay) {
+  if (!running_ || pacing_armed_) return;
+  double delay = 1.0 / rate_pps_ + extra_delay;
+  // Honor a pending fairness back-off window (§4.2).
+  const double now = env_.now();
+  if (backoff_until_ > now + delay) delay = backoff_until_ - now;
+  pacing_armed_ = true;
+  pacing_timer_ = env_.schedule(delay, [this] {
+    pacing_armed_ = false;
+    pace();
+  });
+}
+
+Packet EjtpSender::make_data(SeqNo seq, bool is_rtx) {
+  Packet p;
+  p.type = PacketType::kData;
+  p.flow = cfg_.flow;
+  p.src = cfg_.src;
+  p.dst = cfg_.dst;
+  p.seq = seq;
+  p.payload_bytes = cfg_.payload_bytes;
+  p.loss_tolerance = cfg_.loss_tolerance;
+  p.energy_budget = energy_budget_;
+  p.energy_used = 0.0;
+  p.available_rate_pps =
+      std::numeric_limits<double>::infinity();  // stamped along the path
+  p.is_source_retransmission = is_rtx;
+  p.uid = (static_cast<std::uint64_t>(cfg_.flow) << 40) ^ ++packet_uid_seed_;
+  return p;
+}
+
+std::optional<Packet> EjtpSender::next_packet() {
+  // Source retransmissions take priority: the receiver explicitly asked.
+  while (!rtx_queue_.empty()) {
+    const SeqNo seq = rtx_queue_.front();
+    rtx_queue_.pop_front();
+    auto it = unacked_.find(seq);
+    if (it == unacked_.end()) continue;  // acked/waived meanwhile
+    ++source_rtx_;
+    return make_data(seq, /*is_rtx=*/true);
+  }
+  const bool more_new =
+      (total_packets_ == 0 || next_seq_ < total_packets_) &&
+      (next_seq_ - cum_ack_) < cfg_.window_cap_packets;
+  if (!more_new) return std::nullopt;
+  const SeqNo seq = next_seq_++;
+  unacked_.emplace(seq, cfg_.payload_bytes);
+  return make_data(seq, /*is_rtx=*/false);
+}
+
+void EjtpSender::pace() {
+  if (!running_) return;
+  if (auto p = next_packet()) {
+    ++data_sent_;
+    sink_.send(std::move(*p));
+    arm_pacing();
+    return;
+  }
+  if (finished()) {
+    check_complete();
+    return;
+  }
+  // Nothing new to send but the transfer is not acknowledged: this is the
+  // tail-loss case. A lost *final* packet never enters the receiver's
+  // sequence horizon, so no SNACK will ever name it — only the source can
+  // notice. After ~2 feedback periods without cumulative progress,
+  // retransmit the oldest outstanding packet.
+  if (total_packets_ != 0 && next_seq_ >= total_packets_ &&
+      !unacked_.empty()) {
+    const double now = env_.now();
+    const double stall = now - std::max(last_progress_time_, last_tail_rtx_);
+    if (stall > 2.0 * ack_timeout_s_) {
+      last_tail_rtx_ = now;
+      if (std::find(rtx_queue_.begin(), rtx_queue_.end(),
+                    unacked_.begin()->first) == rtx_queue_.end())
+        rtx_queue_.push_back(unacked_.begin()->first);
+      ++tail_rtx_;
+    }
+  }
+  // Idle-poll at the pacing rate. Cheap in the simulator and keeps the
+  // sender reactive without a separate wakeup channel.
+  arm_pacing();
+}
+
+void EjtpSender::on_ack(const Packet& ack) {
+  assert(ack.is_ack() && ack.ack);
+  const AckHeader& h = *ack.ack;
+  // ACKs can be reordered by retries along the reverse path; an older ACK
+  // carries stale rate/energy/SNACK state and must not override a newer
+  // one (its cumulative ack is monotone and harmless, but nothing else is).
+  if (h.ack_serial != 0 && h.ack_serial <= last_ack_serial_) {
+    cum_ack_ = std::max(cum_ack_, h.cumulative_ack);
+    unacked_.erase(unacked_.begin(), unacked_.lower_bound(cum_ack_));
+    check_complete();
+    return;
+  }
+  last_ack_serial_ = h.ack_serial;
+  ++acks_received_;
+  last_ack_time_ = env_.now();
+
+  // Release everything below the cumulative ack (delivered or waived).
+  if (h.cumulative_ack > cum_ack_) {
+    cum_ack_ = h.cumulative_ack;
+    last_progress_time_ = env_.now();
+  }
+  unacked_.erase(unacked_.begin(), unacked_.lower_bound(cum_ack_));
+
+  // Adopt destination-dictated parameters (decrease fast, increase slow).
+  if (h.advertised_rate_pps > 0.0) {
+    double target = h.advertised_rate_pps;
+    if (target > rate_pps_)
+      target = std::min(target, rate_pps_ * cfg_.max_increase_factor);
+    rate_pps_ = std::max(target, cfg_.min_rate_pps);
+  }
+  if (h.energy_budget > 0.0) energy_budget_ = h.energy_budget;
+  if (h.sender_timeout_s > 0.0) ack_timeout_s_ = h.sender_timeout_s;
+
+  // Queue source retransmissions for seqs no cache could supply.
+  for (SeqNo seq : h.snack.missing) {
+    if (seq < cum_ack_ || !unacked_.contains(seq)) continue;
+    if (std::find(rtx_queue_.begin(), rtx_queue_.end(), seq) ==
+        rtx_queue_.end())
+      rtx_queue_.push_back(seq);
+  }
+
+  // Fairness back-off for in-network retransmissions made on our behalf:
+  // tb = Σ s_j / r(t)  (§4.2).
+  if (!h.snack.locally_recovered.empty()) {
+    local_recovered_ += h.snack.locally_recovered.size();
+    if (cfg_.backoff_for_local_recovery) {
+      double bytes = 0.0;
+      for (SeqNo seq : h.snack.locally_recovered) {
+        auto it = unacked_.find(seq);
+        bytes += (it != unacked_.end()) ? it->second : cfg_.payload_bytes;
+      }
+      const double tb = (bytes / cfg_.payload_bytes) / rate_pps_;
+      backoff_until_ = std::max(backoff_until_, env_.now() + tb);
+      total_backoff_s_ += tb;
+    }
+  }
+
+  // Re-pace immediately at the new rate.
+  if (pacing_armed_) {
+    env_.cancel(pacing_timer_);
+    pacing_armed_ = false;
+  }
+  arm_pacing();
+  check_complete();
+}
+
+void EjtpSender::arm_watchdog() {
+  if (!running_ || watchdog_armed_) return;
+  watchdog_armed_ = true;
+  watchdog_timer_ =
+      env_.schedule(cfg_.watchdog_margin * ack_timeout_s_, [this] {
+        watchdog_armed_ = false;
+        watchdog_fire();
+      });
+}
+
+void EjtpSender::watchdog_fire() {
+  if (!running_) return;
+  const double silence =
+      last_ack_time_ < 0 ? env_.now() : env_.now() - last_ack_time_;
+  if (silence >= cfg_.watchdog_margin * ack_timeout_s_ && data_sent_ > 0) {
+    // Feedback went missing: rate-based control is vulnerable to this, so
+    // back off multiplicatively until the receiver is heard again.
+    rate_pps_ = std::max(rate_pps_ * cfg_.kd, cfg_.min_rate_pps);
+    ++watchdog_backoffs_;
+  }
+  arm_watchdog();
+}
+
+bool EjtpSender::finished() const {
+  return total_packets_ != 0 && cum_ack_ >= total_packets_;
+}
+
+void EjtpSender::check_complete() {
+  if (!finished() || complete_reported_) return;
+  complete_reported_ = true;
+  if (on_complete_) on_complete_();
+}
+
+}  // namespace jtp::core

@@ -1,0 +1,26 @@
+#include "core/energy_controller.h"
+
+#include <stdexcept>
+
+namespace jtp::core {
+
+EnergyBudgetController::EnergyBudgetController(double beta,
+                                               PathMonitorConfig monitor_cfg)
+    : beta_(beta), monitor_(monitor_cfg) {
+  if (beta <= 1.0)
+    throw std::invalid_argument("EnergyBudgetController: beta must be > 1");
+}
+
+bool EnergyBudgetController::observe(Joules energy_used) {
+  return monitor_.add(energy_used).trigger;
+}
+
+Joules EnergyBudgetController::budget() const {
+  if (!monitor_.initialized()) return 0.0;  // caller substitutes a default
+  // eUCL can only be non-negative for a non-negative metric, but guard
+  // against a tiny negative LCL-symmetric artifact anyway.
+  const double ucl = monitor_.ucl();
+  return beta_ * (ucl > 0.0 ? ucl : monitor_.mean());
+}
+
+}  // namespace jtp::core

@@ -1,0 +1,35 @@
+// Energy-budget controller (paper §5.2.4, eq. 13).
+//
+// The destination monitors the per-packet energy-used field with a flip-flop
+// path monitor and reports back a budget e = β·eUCL, β > 1, where eUCL is
+// the monitor's current upper control limit. β expresses per-packet
+// importance: the extra effort the network may invest under transient
+// surges or route failures.
+#pragma once
+
+#include "core/path_monitor.h"
+#include "core/types.h"
+
+namespace jtp::core {
+
+class EnergyBudgetController {
+ public:
+  // `beta` must be > 1 so the monitor can still detect outliers.
+  EnergyBudgetController(double beta, PathMonitorConfig monitor_cfg = {});
+
+  // Feeds the energy-used value observed in an arriving data packet.
+  // Returns true when the underlying monitor triggered (early feedback).
+  bool observe(Joules energy_used);
+
+  // Budget to advertise in the next ACK: β·eUCL(t)  (eq. 13).
+  Joules budget() const;
+
+  double beta() const { return beta_; }
+  const PathMonitor& monitor() const { return monitor_; }
+
+ private:
+  double beta_;
+  PathMonitor monitor_;
+};
+
+}  // namespace jtp::core

@@ -1,0 +1,44 @@
+// Environment interfaces for JTP's "shared code" (paper §1, §6).
+//
+// The paper runs identical protocol code under OPNET and on Linux/JAVeLEN
+// radios via thin adaptation layers. We keep that property: everything in
+// core/ talks to the outside world only through these interfaces; the
+// simulator adapter lives in net/, and a different host (e.g. a real
+// socket/timerfd backend) could be swapped in without touching core/.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "core/packet.h"
+
+namespace jtp::core {
+
+using TimerId = std::uint64_t;
+
+// Clock + timer service.
+class Env {
+ public:
+  virtual ~Env() = default;
+  virtual double now() const = 0;
+  virtual TimerId schedule(double delay_s, std::function<void()> fn) = 0;
+  virtual void cancel(TimerId id) = 0;
+};
+
+// Where an end-point hands packets for transmission (the node's network
+// layer / MAC queue).
+class PacketSink {
+ public:
+  virtual ~PacketSink() = default;
+  virtual void send(Packet p) = 0;
+};
+
+// What iJTP needs to know about the outgoing link, supplied by the MAC's
+// link estimator (paper §2.2.2).
+struct LinkView {
+  double loss_rate = 0.0;           // estimated per-transmission loss prob
+  double available_rate_pps = 0.0;  // idle capacity toward the next hop
+  double avg_attempts = 1.0;        // mean MAC-level transmissions/packet
+};
+
+}  // namespace jtp::core

@@ -1,0 +1,76 @@
+#include "core/fragmentation.h"
+
+#include <stdexcept>
+
+namespace jtp::core {
+
+Fragmenter::Fragmenter(std::uint32_t max_payload_bytes) {
+  if (max_payload_bytes <= kFragMetaBytes)
+    throw std::invalid_argument("Fragmenter: payload too small for framing");
+  max_app_bytes_ = max_payload_bytes - kFragMetaBytes;
+}
+
+std::vector<Fragment> Fragmenter::fragment(std::uint64_t message_id,
+                                           std::uint64_t message_bytes) const {
+  if (message_bytes == 0)
+    throw std::invalid_argument("Fragmenter: empty message");
+  const std::uint64_t n =
+      (message_bytes + max_app_bytes_ - 1) / max_app_bytes_;
+  std::vector<Fragment> out;
+  out.reserve(n);
+  std::uint64_t remaining = message_bytes;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    Fragment f;
+    f.message_id = message_id;
+    f.index = static_cast<std::uint32_t>(i);
+    f.count = static_cast<std::uint32_t>(n);
+    f.payload_bytes = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(remaining, max_app_bytes_));
+    remaining -= f.payload_bytes;
+    out.push_back(f);
+  }
+  return out;
+}
+
+std::optional<Reassembler::Completed> Reassembler::check_done(
+    std::uint64_t id, Partial& p) {
+  if (p.received + p.waived < p.count) return std::nullopt;
+  Completed c{id, p.bytes, p.received, p.waived};
+  partial_.erase(id);
+  ++completed_;
+  return c;
+}
+
+std::optional<Reassembler::Completed> Reassembler::add(const Fragment& f) {
+  if (f.count == 0 || f.index >= f.count)
+    throw std::invalid_argument("Reassembler: malformed fragment");
+  auto& p = partial_[f.message_id];
+  if (p.seen.empty()) {
+    p.count = f.count;
+    p.seen.assign(f.count, false);
+  }
+  if (p.count != f.count)
+    throw std::invalid_argument("Reassembler: fragment count mismatch");
+  if (p.seen[f.index]) return std::nullopt;  // duplicate
+  p.seen[f.index] = true;
+  ++p.received;
+  p.bytes += f.payload_bytes;
+  return check_done(f.message_id, p);
+}
+
+std::optional<Reassembler::Completed> Reassembler::waive(
+    std::uint64_t message_id, std::uint32_t index, std::uint32_t count) {
+  if (count == 0 || index >= count)
+    throw std::invalid_argument("Reassembler: malformed waiver");
+  auto& p = partial_[message_id];
+  if (p.seen.empty()) {
+    p.count = count;
+    p.seen.assign(count, false);
+  }
+  if (p.seen[index]) return std::nullopt;
+  p.seen[index] = true;
+  ++p.waived;
+  return check_done(message_id, p);
+}
+
+}  // namespace jtp::core

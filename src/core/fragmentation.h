@@ -1,0 +1,80 @@
+// Application-specific module: fragmentation & reassembly (paper §2.2.1).
+//
+// eJTP's application module splits application messages into JTP payloads
+// and reassembles them at the receiver. Message framing is carried in the
+// first bytes of each fragment's payload (length-prefixed), so it needs no
+// extra header fields. The module also holds the application's QoS
+// expression: per-message loss tolerance and importance (β).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "core/types.h"
+
+namespace jtp::core {
+
+struct Fragment {
+  std::uint64_t message_id = 0;
+  std::uint32_t index = 0;       // fragment index within the message
+  std::uint32_t count = 0;       // total fragments of the message
+  std::uint32_t payload_bytes = 0;  // application bytes in this fragment
+};
+
+inline constexpr std::uint32_t kFragMetaBytes = 16;  // framing overhead
+
+// Splits a message of `message_bytes` into fragments fitting
+// `max_payload_bytes` (which includes the framing overhead).
+class Fragmenter {
+ public:
+  explicit Fragmenter(std::uint32_t max_payload_bytes);
+
+  std::vector<Fragment> fragment(std::uint64_t message_id,
+                                 std::uint64_t message_bytes) const;
+
+  std::uint32_t max_app_bytes_per_fragment() const { return max_app_bytes_; }
+
+ private:
+  std::uint32_t max_app_bytes_;
+};
+
+// Reassembles messages from fragments arriving in any order; tolerates
+// waived fragments: a message completes when the non-waived fragments have
+// all arrived and the waived fraction is within the message's tolerance.
+class Reassembler {
+ public:
+  struct Completed {
+    std::uint64_t message_id = 0;
+    std::uint64_t bytes_received = 0;
+    std::uint32_t fragments_received = 0;
+    std::uint32_t fragments_waived = 0;
+  };
+
+  // Feeds a fragment; returns the completed message if this fragment (or
+  // waiver) finished it.
+  std::optional<Completed> add(const Fragment& f);
+
+  // Marks a fragment as waived (lost but tolerated).
+  std::optional<Completed> waive(std::uint64_t message_id, std::uint32_t index,
+                                 std::uint32_t count);
+
+  std::size_t messages_in_progress() const { return partial_.size(); }
+  std::uint64_t messages_completed() const { return completed_; }
+
+ private:
+  struct Partial {
+    std::uint32_t count = 0;
+    std::uint32_t received = 0;
+    std::uint32_t waived = 0;
+    std::uint64_t bytes = 0;
+    std::vector<bool> seen;
+  };
+  std::optional<Completed> check_done(std::uint64_t id, Partial& p);
+
+  std::map<std::uint64_t, Partial> partial_;
+  std::uint64_t completed_ = 0;
+};
+
+}  // namespace jtp::core

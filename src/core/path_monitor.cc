@@ -1,0 +1,98 @@
+#include "core/path_monitor.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace jtp::core {
+
+PathMonitor::PathMonitor(PathMonitorConfig cfg) : cfg_(cfg) {
+  if (cfg.alpha_stable <= 0 || cfg.alpha_stable > 1 || cfg.alpha_agile <= 0 ||
+      cfg.alpha_agile > 1 || cfg.beta <= 0 || cfg.beta > 1)
+    throw std::invalid_argument("PathMonitor: weights must be in (0,1]");
+  if (cfg.outlier_run_to_trigger < 1)
+    throw std::invalid_argument("PathMonitor: outlier run must be >= 1");
+}
+
+double PathMonitor::ucl() const {
+  return mean_ + cfg_.limit_sigmas * range_ / cfg_.d2;
+}
+
+double PathMonitor::lcl() const {
+  return mean_ - cfg_.limit_sigmas * range_ / cfg_.d2;
+}
+
+void PathMonitor::reset() {
+  have_mean_ = false;
+  agile_ = false;
+  trigger_armed_ = true;
+  outlier_run_ = 0;
+  n_ = 0;
+  mean_ = range_ = prev_sample_ = 0.0;
+}
+
+PathMonitor::Observation PathMonitor::add(double sample) {
+  Observation obs;
+  ++n_;
+  last_sample_ = sample;
+  if (!have_mean_) {
+    // Paper: initially x̄ = x0 and R̄ = x0/2.
+    mean_ = sample;
+    range_ = std::abs(sample) / 2.0;
+    prev_sample_ = sample;
+    have_mean_ = true;
+    obs.agile = agile_;
+    return obs;
+  }
+
+  const bool outlier = sample > ucl() || sample < lcl();
+  obs.outlier = outlier;
+
+  // Filtering discipline:
+  //  * in-control sample: blend with the current filter's weight, update
+  //    the moving range (paper: R̄ "calculated only from samples within
+  //    the control limits"), reset the outlier run, flop back to stable;
+  //  * outlier while stable: do NOT pollute the mean — an isolated spike
+  //    must leave the estimate intact. Count it toward the trigger run;
+  //  * outlier while agile (post-trigger catch-up): blend with the agile
+  //    weight so x̄ chases the new level quickly.
+  if (!outlier) {
+    const double alpha = agile_ ? cfg_.alpha_agile : cfg_.alpha_stable;
+    mean_ = (1.0 - alpha) * mean_ + alpha * sample;
+    range_ = (1.0 - cfg_.beta) * range_ +
+             cfg_.beta * std::abs(sample - prev_sample_);
+    prev_sample_ = sample;
+    outlier_run_ = 0;
+    agile_ = false;
+    trigger_armed_ = true;  // excursion over: a new change may trigger again
+    obs.agile = agile_;
+    return obs;
+  }
+
+  if (agile_) {
+    mean_ = (1.0 - cfg_.alpha_agile) * mean_ + cfg_.alpha_agile * sample;
+    prev_sample_ = sample;
+  }
+  ++outlier_run_;
+  if (outlier_run_ >= cfg_.outlier_run_to_trigger) {
+    // One trigger per excursion: re-arms only after a sample falls back
+    // inside the control limits (the flip-flop "flop" condition). This
+    // keeps a long excursion from turning the early-feedback channel into
+    // an ACK storm while the agile filter is still catching up.
+    if (trigger_armed_) {
+      obs.trigger = true;
+      ++triggers_;
+      trigger_armed_ = false;
+    }
+    if (!agile_) {
+      // Flip to agile and seed the catch-up with this sample.
+      agile_ = true;
+      mean_ = (1.0 - cfg_.alpha_agile) * mean_ + cfg_.alpha_agile * sample;
+      prev_sample_ = sample;
+    }
+    outlier_run_ = 0;
+  }
+  obs.agile = agile_;
+  return obs;
+}
+
+}  // namespace jtp::core

@@ -1,0 +1,65 @@
+// Flip-flop path monitor (paper §5.1, eqs. 7–8).
+//
+// Tracks one path metric (e.g. min available rate, per-packet energy used)
+// with an EWMA mean and an EWMA of successive absolute differences (moving
+// range R̄), and flags samples outside Shewhart-style control limits
+//   UCL/LCL = x̄ ± 3·R̄/1.128.
+// A run of consecutive outliers signals a persistent path change: the
+// monitor reports `trigger` (the destination should send early feedback)
+// and flips from the stable filter (small α) to an agile filter (large α)
+// until samples re-enter the limits.
+#pragma once
+
+#include <cstddef>
+
+namespace jtp::core {
+
+struct PathMonitorConfig {
+  double alpha_stable = 0.1;   // stable EWMA weight for x̄
+  double alpha_agile = 0.6;    // agile EWMA weight for x̄
+  double beta = 0.2;           // EWMA weight for the moving range R̄
+  int outlier_run_to_trigger = 3;  // consecutive outliers => trigger
+  double d2 = 1.128;           // control-chart constant for ranges of 2
+  double limit_sigmas = 3.0;   // width of control band in R̄/d2 units
+};
+
+class PathMonitor {
+ public:
+  explicit PathMonitor(PathMonitorConfig cfg = {});
+
+  struct Observation {
+    bool outlier = false;   // sample fell outside [LCL, UCL]
+    bool trigger = false;   // outlier run completed: send early feedback now
+    bool agile = false;     // filter state after this sample
+  };
+
+  // Feeds one sample; updates x̄, R̄ and the filter mode.
+  Observation add(double sample);
+
+  bool initialized() const { return have_mean_; }
+  double mean() const { return mean_; }
+  double range() const { return range_; }
+  double last_sample() const { return last_sample_; }
+  double ucl() const;
+  double lcl() const;
+  bool agile() const { return agile_; }
+  std::size_t samples() const { return n_; }
+  std::size_t triggers() const { return triggers_; }
+
+  void reset();
+
+ private:
+  PathMonitorConfig cfg_;
+  double mean_ = 0.0;
+  double range_ = 0.0;
+  double prev_sample_ = 0.0;
+  double last_sample_ = 0.0;
+  bool have_mean_ = false;
+  bool agile_ = false;
+  bool trigger_armed_ = true;
+  int outlier_run_ = 0;
+  std::size_t n_ = 0;
+  std::size_t triggers_ = 0;
+};
+
+}  // namespace jtp::core

@@ -1,0 +1,42 @@
+#include "core/rate_controller.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace jtp::core {
+
+RateController::RateController(RateControllerConfig cfg)
+    : cfg_(cfg), rate_(cfg.initial_rate_pps) {
+  if (cfg.ki <= 0.0 || cfg.ki >= 1.0)
+    throw std::invalid_argument("RateController: require 0 < KI < 1");
+  if (cfg.kd <= 0.0 || cfg.kd >= 1.0)
+    throw std::invalid_argument("RateController: require 0 < KD < 1");
+  if (cfg.min_rate_pps <= 0.0 || cfg.max_rate_pps < cfg.min_rate_pps)
+    throw std::invalid_argument("RateController: bad rate bounds");
+  rate_ = std::clamp(rate_, cfg_.min_rate_pps, cfg_.max_rate_pps);
+}
+
+double RateController::update(double avg_available_pps) {
+  if (avg_available_pps > cfg_.delta_pps) {
+    rate_ += cfg_.ki * avg_available_pps /
+             std::max(rate_, cfg_.increase_divisor_floor);
+  } else {
+    rate_ *= cfg_.kd;
+  }
+  rate_ = std::clamp(rate_, cfg_.min_rate_pps, cfg_.max_rate_pps);
+  return rate_;
+}
+
+double RateController::backoff() {
+  rate_ = std::clamp(rate_ * cfg_.kd, cfg_.min_rate_pps, cfg_.max_rate_pps);
+  return rate_;
+}
+
+void RateController::set_rate_cap(double cap_pps) {
+  if (cap_pps <= 0.0)
+    throw std::invalid_argument("RateController: cap must be positive");
+  cfg_.max_rate_pps = cap_pps;
+  rate_ = std::min(rate_, cap_pps);
+}
+
+}  // namespace jtp::core

@@ -1,0 +1,50 @@
+// PI^2/MD sending-rate controller (paper §5.2.1, eqs. 9–10).
+//
+// Runs at the destination. Given the EWMA of the minimum available path
+// rate Ā and a target headroom δ:
+//   Ā > δ :  r <- r + KI·Ā/r        (inverse-proportional increase)
+//   Ā ≤ δ :  r <- KD·r              (multiplicative decrease)
+// Stability requires KI > 0 and KD < 1 (§5.2.2; Lyapunov argument).
+// The output is additionally capped by the application's delivery rate.
+#pragma once
+
+namespace jtp::core {
+
+struct RateControllerConfig {
+  double ki = 0.5;             // 0 < KI < 1
+  double kd = 0.75;            // 0 < KD < 1
+  double delta_pps = 0.25;     // target available-rate headroom δ
+  double min_rate_pps = 0.1;   // floor so a flow can always probe
+  double max_rate_pps = 1e6;   // app/receiver delivery-rate cap
+  double initial_rate_pps = 1.0;
+  // The increase step KI·Ā/r explodes as r approaches the floor (a flow
+  // coming out of back-off would leap from floor to cap in one update and
+  // re-congest the path). The divisor is bounded below by this value,
+  // capping a single step at KI·Ā/floor. Stability (§5.2.2) is
+  // unaffected: the Lyapunov argument needs only a positive step below
+  // capacity.
+  double increase_divisor_floor = 1.0;
+};
+
+class RateController {
+ public:
+  explicit RateController(RateControllerConfig cfg = {});
+
+  // One control iteration with the current available-rate estimate Ā.
+  // Returns the new sending rate (pps).
+  double update(double avg_available_pps);
+
+  // Multiplicative back-off used when feedback goes missing (§2.1.2) —
+  // same KD as the congestion branch.
+  double backoff();
+
+  double rate() const { return rate_; }
+  void set_rate_cap(double cap_pps);
+  const RateControllerConfig& config() const { return cfg_; }
+
+ private:
+  RateControllerConfig cfg_;
+  double rate_;
+};
+
+}  // namespace jtp::core

@@ -1,0 +1,51 @@
+#include "core/reliability.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace jtp::core {
+
+double per_link_success_target(double loss_tolerance, int remaining_hops) {
+  if (remaining_hops < 1)
+    throw std::invalid_argument("per_link_success_target: hops < 1");
+  const double lt = detail::clamp01(loss_tolerance);
+  // (1 - lt)^(1/H): with lt = 0 the target is full reliability on every link.
+  return std::pow(1.0 - lt, 1.0 / static_cast<double>(remaining_hops));
+}
+
+int attempt_budget(double q_target, double p_link_loss, int max_attempts) {
+  if (max_attempts < 1)
+    throw std::invalid_argument("attempt_budget: max_attempts < 1");
+  const double q = detail::clamp01(q_target);
+  const double p = detail::clamp01(p_link_loss);
+  if (p <= 0.0) return 1;               // lossless link: one attempt suffices
+  if (q >= 1.0) return max_attempts;    // full reliability: spend the cap
+  if (q <= 0.0) return 1;
+  // M = log(1-q)/log(p); both logs are negative, ratio positive.
+  const double m = std::log(1.0 - q) / std::log(p);
+  const int up = static_cast<int>(std::ceil(m - 1e-12));
+  return std::clamp(up, 1, max_attempts);
+}
+
+double achieved_link_success(double p_link_loss, int attempts) {
+  if (attempts < 1)
+    throw std::invalid_argument("achieved_link_success: attempts < 1");
+  const double p = detail::clamp01(p_link_loss);
+  return 1.0 - std::pow(p, static_cast<double>(attempts));
+}
+
+double update_loss_tolerance(double loss_tolerance, double q_achieved) {
+  const double lt = detail::clamp01(loss_tolerance);
+  if (q_achieved <= 0.0) return 1.0;  // link is hopeless; waive the rest
+  // lt' = 1 - (1-lt)/q. When the link over-achieves (q > 1-lt), the raw
+  // value goes negative: downstream owes *more* reliability than exists.
+  // Clamp to 0 (full reliability downstream).
+  return detail::clamp01(1.0 - (1.0 - lt) / q_achieved);
+}
+
+double end_to_end_success(double q_per_link, int hops) {
+  if (hops < 0) throw std::invalid_argument("end_to_end_success: hops < 0");
+  return std::pow(detail::clamp01(q_per_link), static_cast<double>(hops));
+}
+
+}  // namespace jtp::core

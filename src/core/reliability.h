@@ -1,0 +1,41 @@
+// Adjustable reliability for energy conservation (paper §3, eqs. 1–4).
+//
+// Given an application's end-to-end loss tolerance l_e2e and per-link raw
+// loss probabilities p_i, JTP picks a per-link success target q and a
+// per-link attempt budget M_i = log(1-q)/log(p_i), then rewrites the loss
+// tolerance carried in the packet header so downstream nodes see only the
+// remaining budget (eq. 3). All functions here are pure.
+#pragma once
+
+#include <algorithm>
+
+namespace jtp::core {
+
+inline constexpr int kDefaultMaxAttempts = 5;  // Table 1
+
+// Equal per-link success target: q = (1 - lt)^(1/H)   (eq. 4).
+// `remaining_hops` >= 1; lt in [0,1].
+double per_link_success_target(double loss_tolerance, int remaining_hops);
+
+// Attempt budget for raw link loss probability p to reach success target q:
+// M = clamp(log(1-q)/log(p), 1, max_attempts)   (eq. 2).
+// Edge cases: p ~ 0 -> 1 attempt; q ~ 1 (full reliability) -> max_attempts.
+int attempt_budget(double q_target, double p_link_loss, int max_attempts);
+
+// Achieved per-link success probability with M attempts: q = 1 - p^M.
+double achieved_link_success(double p_link_loss, int attempts);
+
+// Header rewrite before forwarding (eq. 3):
+//   lt' = 1 - (1 - lt) / q_achieved, clamped to [0, 1].
+// q_achieved is the success probability this node arranged on its own link;
+// left-over budget is removed so it cannot be spent downstream.
+double update_loss_tolerance(double loss_tolerance, double q_achieved);
+
+// End-to-end success probability if every one of `hops` links achieves q.
+double end_to_end_success(double q_per_link, int hops);
+
+namespace detail {
+inline double clamp01(double x) { return std::clamp(x, 0.0, 1.0); }
+}  // namespace detail
+
+}  // namespace jtp::core

@@ -1,0 +1,87 @@
+#include "core/seq_tracker.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace jtp::core {
+
+SeqTracker::SeqTracker(double loss_tolerance) : tolerance_(loss_tolerance) {
+  if (loss_tolerance < 0.0 || loss_tolerance > 1.0)
+    throw std::invalid_argument("SeqTracker: tolerance outside [0,1]");
+}
+
+bool SeqTracker::receive(SeqNo seq) {
+  if (seq < base_ || out_of_order_.contains(seq) || waived_.contains(seq)) {
+    ++duplicates_;
+    return false;
+  }
+  ++arrivals_;
+  // Seqs skipped over by this arrival become gaps, stamped with the
+  // current arrival count so reordering tolerance can be measured.
+  if (seq > horizon_) {
+    for (SeqNo s = horizon_; s < seq; ++s) gap_noticed_at_.emplace(s, arrivals_);
+  }
+  horizon_ = std::max(horizon_, seq + 1);
+  gap_noticed_at_.erase(seq);  // a filled gap is no longer a gap
+  out_of_order_.insert(seq);
+  ++received_;
+  advance_base();
+  return true;
+}
+
+void SeqTracker::advance_base() {
+  while (true) {
+    if (auto it = out_of_order_.find(base_); it != out_of_order_.end()) {
+      out_of_order_.erase(it);
+      ++base_;
+      continue;
+    }
+    if (auto it = waived_.find(base_); it != waived_.end()) {
+      waived_.erase(it);
+      ++base_;
+      continue;
+    }
+    break;
+  }
+  gap_noticed_at_.erase(gap_noticed_at_.begin(),
+                        gap_noticed_at_.lower_bound(base_));
+}
+
+bool SeqTracker::can_waive_one() const {
+  // Waiving one more keeps waived/(received+waived+1) <= tolerance.
+  const double total =
+      static_cast<double>(received_ + waived_count_ + 1);
+  return (static_cast<double>(waived_count_) + 1.0) <= tolerance_ * total;
+}
+
+std::vector<SeqNo> SeqTracker::missing_after_waive(std::size_t max_count,
+                                                   int reorder_threshold) {
+  std::vector<SeqNo> out;
+  for (SeqNo s = base_; s < horizon_ && out.size() < max_count; ++s) {
+    if (out_of_order_.contains(s) || waived_.contains(s)) continue;
+    if (reorder_threshold > 0) {
+      const auto it = gap_noticed_at_.find(s);
+      const std::uint64_t since =
+          it == gap_noticed_at_.end() ? arrivals_ : arrivals_ - it->second;
+      // Too few later arrivals: the packet may simply still be in flight.
+      if (since < static_cast<std::uint64_t>(reorder_threshold)) continue;
+    }
+    if (can_waive_one()) {
+      waived_.insert(s);
+      ++waived_count_;
+      continue;
+    }
+    out.push_back(s);
+  }
+  advance_base();
+  return out;
+}
+
+std::vector<SeqNo> SeqTracker::missing() const {
+  std::vector<SeqNo> out;
+  for (SeqNo s = base_; s < horizon_; ++s)
+    if (!out_of_order_.contains(s) && !waived_.contains(s)) out.push_back(s);
+  return out;
+}
+
+}  // namespace jtp::core

@@ -1,0 +1,74 @@
+// Receiver-side sequence bookkeeping with loss-tolerance waiving.
+//
+// Tracks which sequence numbers have arrived, which are missing, and which
+// missing ones the application has agreed to waive under its end-to-end
+// loss tolerance (paper §3: the receiver requests retransmission "only for
+// those missing packets that are important to the application").
+//
+// The waive policy is a running quota: a missing packet may be waived iff
+// doing so keeps the waived fraction of all packets seen-or-waived at or
+// below the tolerance. This is deterministic and keeps delivered data just
+// above the application's requirement line (paper Fig. 3(b)).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "core/types.h"
+
+namespace jtp::core {
+
+class SeqTracker {
+ public:
+  explicit SeqTracker(double loss_tolerance = 0.0);
+
+  // Records an arriving sequence number. Returns true if it was new
+  // (not a duplicate, not already waived).
+  bool receive(SeqNo seq);
+
+  // Sequence numbers below this are all received or waived.
+  SeqNo cumulative_ack() const { return base_; }
+
+  // Highest sequence number received so far + 1 (0 if none).
+  SeqNo horizon() const { return horizon_; }
+
+  // Missing sequence numbers in [base_, horizon_) after applying the waive
+  // quota: each gap is first considered for waiving; survivors are
+  // returned (these go into the SNACK). Waived seqs advance the base as if
+  // received. `max_count` caps the returned list (ACK header budget).
+  //
+  // `reorder_threshold` guards against requesting packets that are merely
+  // still in flight: a gap is eligible only after at least that many
+  // later packets have arrived since it appeared (0 = consider all gaps —
+  // used for tail losses when the flow has gone quiet). Ineligible gaps
+  // are neither waived nor returned.
+  std::vector<SeqNo> missing_after_waive(std::size_t max_count,
+                                         int reorder_threshold = 0);
+
+  // Missing without waiving anything (inspection / full-reliability mode).
+  std::vector<SeqNo> missing() const;
+
+  std::uint64_t received_count() const { return received_; }
+  std::uint64_t waived_count() const { return waived_count_; }
+  std::uint64_t duplicate_count() const { return duplicates_; }
+  double loss_tolerance() const { return tolerance_; }
+
+ private:
+  bool can_waive_one() const;
+  void advance_base();
+
+  double tolerance_;
+  SeqNo base_ = 0;     // all < base_ received or waived
+  SeqNo horizon_ = 0;  // max received + 1
+  std::set<SeqNo> out_of_order_;  // received, >= base_
+  std::set<SeqNo> waived_;        // waived, >= base_
+  std::uint64_t arrivals_ = 0;    // fresh receptions, for reorder gating
+  std::map<SeqNo, std::uint64_t> gap_noticed_at_;  // gap -> arrivals_ then
+  std::uint64_t received_ = 0;
+  std::uint64_t waived_count_ = 0;
+  std::uint64_t duplicates_ = 0;
+};
+
+}  // namespace jtp::core

@@ -1,0 +1,26 @@
+// Identifiers and small value types shared across the JTP stack.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace jtp::core {
+
+using NodeId = std::uint32_t;
+using FlowId = std::uint32_t;
+using SeqNo = std::uint64_t;
+
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+// Energy in joules.
+using Joules = double;
+
+// Rates are expressed in packets per second at the transport layer and in
+// bits per second at the link layer; helpers below convert.
+struct Bytes {
+  std::uint32_t value = 0;
+};
+
+inline constexpr double bits(std::uint32_t bytes) { return 8.0 * bytes; }
+
+}  // namespace jtp::core

@@ -1,0 +1,41 @@
+// Experiment metrics (paper §6.1): energy per delivered bit and goodput,
+// plus the secondary counters individual figures need (source rtx, cache
+// hits, queue drops, per-node energy).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace jtp::exp {
+
+struct RunMetrics {
+  double duration_s = 0.0;
+  double total_energy_j = 0.0;
+  double delivered_payload_bits = 0.0;
+  double per_flow_goodput_kbps_mean = 0.0;
+  std::uint64_t delivered_packets = 0;
+  std::uint64_t waived_packets = 0;
+  std::uint64_t data_packets_sent = 0;
+  std::uint64_t source_retransmissions = 0;
+  std::uint64_t cache_retransmissions = 0;
+  std::uint64_t acks_sent = 0;
+  std::uint64_t queue_drops = 0;
+  std::uint64_t attempt_drops = 0;
+  std::uint64_t energy_budget_drops = 0;
+  std::uint64_t route_drops = 0;
+  std::uint64_t transmissions = 0;
+  std::vector<double> per_node_energy_j;
+
+  // µJ per delivered application bit; 0 when nothing was delivered.
+  double energy_per_bit_uj() const {
+    if (delivered_payload_bits <= 0.0) return 0.0;
+    return total_energy_j / delivered_payload_bits * 1e6;
+  }
+  double energy_per_bit_mj() const {
+    if (delivered_payload_bits <= 0.0) return 0.0;
+    return total_energy_j / delivered_payload_bits * 1e3;
+  }
+  double delivered_kbit() const { return delivered_payload_bits / 1e3; }
+};
+
+}  // namespace jtp::exp

@@ -1,0 +1,64 @@
+#include "exp/runner.h"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace jtp::exp {
+
+std::vector<RunMetrics> run_seeds(
+    std::size_t n_runs, std::uint64_t base_seed,
+    const std::function<RunMetrics(std::uint64_t seed)>& body) {
+  std::vector<RunMetrics> out;
+  out.reserve(n_runs);
+  for (std::size_t i = 0; i < n_runs; ++i)
+    out.push_back(body(base_seed + 1000 * (i + 1)));
+  return out;
+}
+
+Aggregate aggregate(const std::vector<RunMetrics>& runs,
+                    const std::function<double(const RunMetrics&)>& extract) {
+  sim::Summary s;
+  for (const auto& r : runs) s.add(extract(r));
+  return Aggregate{s.mean(), s.ci95_halfwidth(), s.count()};
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> columns, int width)
+    : cols_(std::move(columns)), width_(width) {}
+
+void TablePrinter::header(std::ostream& os) const {
+  for (const auto& c : cols_) os << std::setw(width_) << c;
+  os << '\n';
+  for (std::size_t i = 0; i < cols_.size(); ++i)
+    os << std::setw(width_) << std::string(width_ - 2, '-');
+  os << '\n';
+}
+
+void TablePrinter::row(std::ostream& os,
+                       const std::vector<std::string>& cells) const {
+  for (const auto& c : cells) os << std::setw(width_) << c;
+  os << '\n';
+}
+
+void TablePrinter::row(std::ostream& os,
+                       const std::vector<double>& cells) const {
+  std::vector<std::string> s;
+  s.reserve(cells.size());
+  for (double v : cells) s.push_back(fmt(v));
+  row(os, s);
+}
+
+std::string fmt(double v, int precision) {
+  std::ostringstream os;
+  os << std::setprecision(precision) << std::fixed << v;
+  return os.str();
+}
+
+std::string with_ci(const Aggregate& a, int precision) {
+  std::ostringstream os;
+  os << std::setprecision(precision) << std::fixed << a.mean << " ±"
+     << a.ci95;
+  return os.str();
+}
+
+}  // namespace jtp::exp

@@ -1,0 +1,50 @@
+// Multi-seed experiment runner with 95% confidence intervals.
+//
+// The paper reports means of 10–20 independent runs with 95% CIs; Runner
+// repeats a scenario across seeds and aggregates any scalar extracted from
+// RunMetrics. A small table printer renders paper-style rows.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "exp/metrics.h"
+#include "sim/stats.h"
+
+namespace jtp::exp {
+
+struct Aggregate {
+  double mean = 0.0;
+  double ci95 = 0.0;
+  std::size_t runs = 0;
+};
+
+// Runs `body` once per seed; `body` returns the metrics of that run.
+std::vector<RunMetrics> run_seeds(
+    std::size_t n_runs, std::uint64_t base_seed,
+    const std::function<RunMetrics(std::uint64_t seed)>& body);
+
+// Aggregates one scalar across runs.
+Aggregate aggregate(const std::vector<RunMetrics>& runs,
+                    const std::function<double(const RunMetrics&)>& extract);
+
+// Fixed-width table printer for bench output.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> columns, int width = 14);
+  void header(std::ostream& os) const;
+  void row(std::ostream& os, const std::vector<std::string>& cells) const;
+  void row(std::ostream& os, const std::vector<double>& cells) const;
+
+ private:
+  std::vector<std::string> cols_;
+  int width_;
+};
+
+// "12.3 ±0.4" formatting helper.
+std::string with_ci(const Aggregate& a, int precision = 3);
+std::string fmt(double v, int precision = 3);
+
+}  // namespace jtp::exp

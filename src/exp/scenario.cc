@@ -1,0 +1,77 @@
+#include "exp/scenario.h"
+
+#include <cmath>
+
+namespace jtp::exp {
+
+net::NetworkConfig make_network_config(const ScenarioConfig& sc) {
+  net::NetworkConfig cfg;
+  cfg.seed = sc.seed;
+  cfg.slot_duration_s = sc.slot_duration_s;
+  cfg.channel.fading_enabled = sc.fading;
+  cfg.channel.loss_good = sc.loss_good;
+  cfg.channel.loss_bad = sc.loss_bad;
+  cfg.channel.bad_fraction = sc.bad_fraction;
+  cfg.mac.queue_capacity_packets = sc.queue_capacity_packets;
+  cfg.routing.refresh_interval_s = sc.routing_refresh_s;
+  cfg.node.ijtp.cache_capacity_packets = sc.cache_size_packets;
+  cfg.node.ijtp.caching_enabled = (sc.proto != Proto::kJnc);
+  return cfg;
+}
+
+std::unique_ptr<net::Network> make_linear(std::size_t net_size,
+                                          const ScenarioConfig& sc) {
+  auto topo = phy::Topology::linear(net_size, kSpacingM, kRangeM);
+  return std::make_unique<net::Network>(std::move(topo),
+                                        make_network_config(sc));
+}
+
+double random_field_side_m(std::size_t n) {
+  // Density chosen so the range graph is connected w.h.p. but multi-hop:
+  // ~5 nodes per range-disk area.
+  const double disk = 3.14159265358979 * kRangeM * kRangeM;
+  return std::sqrt(static_cast<double>(n) * disk / 5.0);
+}
+
+std::unique_ptr<net::Network> make_random(std::size_t net_size,
+                                          const ScenarioConfig& sc) {
+  sim::Rng rng(sc.seed);
+  auto placement_rng = rng.derive("placement");
+  auto topo = phy::Topology::random_connected(
+      net_size, random_field_side_m(net_size), kRangeM, placement_rng);
+  return std::make_unique<net::Network>(std::move(topo),
+                                        make_network_config(sc));
+}
+
+std::unique_ptr<net::Network> make_mobile(std::size_t net_size,
+                                          double speed_mps,
+                                          const ScenarioConfig& sc) {
+  sim::Rng rng(sc.seed);
+  auto placement_rng = rng.derive("placement");
+  const double field = random_field_side_m(net_size);
+  auto topo = phy::Topology::random_connected(net_size, field, kRangeM,
+                                              placement_rng);
+  auto cfg = make_network_config(sc);
+  phy::MobilityConfig mob;
+  mob.speed_mps = speed_mps;
+  mob.field_m = field;
+  cfg.mobility = mob;
+  return std::make_unique<net::Network>(std::move(topo), cfg);
+}
+
+std::unique_ptr<net::Network> make_testbed(const ScenarioConfig& sc) {
+  // 14 nodes in a 7x2 indoor grid; links stable and good (Table 2: "the
+  // links are more stable and their quality is much better").
+  auto cfg = make_network_config(sc);
+  cfg.channel.fading_enabled = false;
+  cfg.channel.loss_good = 0.01;
+  phy::Topology topo(14, kRangeM);
+  for (core::NodeId i = 0; i < 14; ++i) {
+    const double x = static_cast<double>(i % 7) * kSpacingM;
+    const double y = static_cast<double>(i / 7) * kSpacingM;
+    topo.set_position(i, {x, y});
+  }
+  return std::make_unique<net::Network>(std::move(topo), cfg);
+}
+
+}  // namespace jtp::exp

@@ -1,0 +1,88 @@
+// Flow management across the three transports under test.
+//
+// FlowManager attaches flows of a chosen protocol to a Network with
+// consistent defaults, tracks them, and aggregates RunMetrics afterwards.
+// Protocols (paper §6.1):
+//   kJtp — the full protocol;
+//   kJnc — JTP with in-network caching disabled (Fig. 4);
+//   kTcp — rate-based TCP-SACK;
+//   kAtp — ATP-like explicit-rate protocol.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exp/metrics.h"
+#include "net/network.h"
+
+namespace jtp::exp {
+
+enum class Proto { kJtp, kJnc, kTcp, kAtp };
+
+std::string proto_name(Proto p);
+
+// Per-flow knobs that individual experiments vary.
+struct FlowOptions {
+  double loss_tolerance = 0.0;
+  double initial_rate_pps = 1.0;
+  core::FeedbackMode feedback_mode = core::FeedbackMode::kVariable;
+  double constant_feedback_rate_pps = 0.2;  // used in kConstant mode
+  double t_lower_bound_s = 10.0;
+  bool backoff_for_local_recovery = true;
+  // β in e = β·eUCL (eq. 13). Must cover the worst legitimate delivery:
+  // a packet that needs the full MAC attempt budget on several bad-state
+  // links costs ~4-5x the typical path energy, so β below ~4 makes the
+  // budget kill packets the reliability machinery then has to repair.
+  double energy_beta = 5.0;
+  double app_delivery_cap_pps = 1e6;
+  core::Joules initial_energy_budget = 0.0;  // 0 = unbudgeted at start
+  core::PathMonitorConfig monitor;           // flip-flop filter knobs
+};
+
+class FlowManager {
+ public:
+  FlowManager(net::Network& network, Proto proto);
+
+  struct FlowHandle {
+    Proto proto;
+    core::NodeId src;
+    core::NodeId dst;
+    double start_time = 0.0;
+    double completed_at = -1.0;  // < 0 until the transfer finishes
+    std::uint64_t total_packets = 0;  // 0 = long-lived
+    net::JtpFlow jtp;
+    net::TcpFlow tcp;
+    net::AtpFlow atp;
+
+    double delivered_bits() const;
+    std::uint64_t delivered_packets() const;
+    std::uint64_t waived_packets() const;
+    std::uint64_t data_sent() const;
+    std::uint64_t source_rtx() const;
+    std::uint64_t acks_sent() const;
+    bool finished() const;
+  };
+
+  // Creates a flow and starts it after `start_delay_s` (sim time offset
+  // from now). `total_packets` = 0 means a long-lived flow.
+  FlowHandle& create(core::NodeId src, core::NodeId dst,
+                     std::uint64_t total_packets, double start_delay_s = 0.0,
+                     FlowOptions opt = {});
+
+  const std::vector<std::unique_ptr<FlowHandle>>& flows() const {
+    return flows_;
+  }
+  net::Network& network() { return net_; }
+  Proto proto() const { return proto_; }
+
+  // Aggregates all counters after (or during) a run.
+  RunMetrics collect(double duration_s) const;
+
+ private:
+  net::Network& net_;
+  Proto proto_;
+  std::vector<std::unique_ptr<FlowHandle>> flows_;
+};
+
+}  // namespace jtp::exp

@@ -1,0 +1,85 @@
+#include "mac/link_estimator.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace jtp::mac {
+
+LinkEstimator::LinkEstimator(LinkEstimatorConfig cfg) : cfg_(cfg) {
+  if (cfg.loss_alpha <= 0 || cfg.loss_alpha > 1 || cfg.attempts_alpha <= 0 ||
+      cfg.attempts_alpha > 1)
+    throw std::invalid_argument("LinkEstimator: weights outside (0,1]");
+  if (cfg.utilization_window_s <= 0)
+    throw std::invalid_argument("LinkEstimator: bad window");
+}
+
+void LinkEstimator::record_attempt(core::NodeId neighbor, bool lost) {
+  auto& l = links_[neighbor];
+  const double sample = lost ? 1.0 : 0.0;
+  if (!l.loss_init) {
+    // Blend the first sample with the prior rather than adopting it raw:
+    // a single unlucky first transmission would otherwise report 100%.
+    l.loss = (cfg_.initial_loss + sample) / 2.0;
+    l.loss_init = true;
+    return;
+  }
+  l.loss = (1.0 - cfg_.loss_alpha) * l.loss + cfg_.loss_alpha * sample;
+}
+
+void LinkEstimator::record_packet(core::NodeId neighbor, int attempts) {
+  if (attempts < 1) throw std::invalid_argument("record_packet: attempts < 1");
+  auto& l = links_[neighbor];
+  const double sample = static_cast<double>(attempts);
+  if (!l.attempts_init) {
+    l.attempts = sample;
+    l.attempts_init = true;
+    return;
+  }
+  l.attempts =
+      (1.0 - cfg_.attempts_alpha) * l.attempts + cfg_.attempts_alpha * sample;
+}
+
+void LinkEstimator::record_slot_used(sim::Time t) {
+  used_slots_.push_back(t);
+}
+
+void LinkEstimator::prune(sim::Time now) const {
+  while (!used_slots_.empty() &&
+         used_slots_.front() < now - cfg_.utilization_window_s)
+    used_slots_.pop_front();
+}
+
+double LinkEstimator::loss_rate(core::NodeId neighbor) const {
+  auto it = links_.find(neighbor);
+  if (it == links_.end() || !it->second.loss_init) return cfg_.initial_loss;
+  return it->second.loss;
+}
+
+double LinkEstimator::avg_attempts(core::NodeId neighbor) const {
+  auto it = links_.find(neighbor);
+  if (it == links_.end() || !it->second.attempts_init) return 1.0;
+  return it->second.attempts;
+}
+
+double LinkEstimator::utilization(sim::Time now) const {
+  prune(now);
+  const double owned_in_window =
+      cfg_.node_capacity_pps * cfg_.utilization_window_s;
+  if (owned_in_window <= 0) return 1.0;
+  return std::min(1.0, static_cast<double>(used_slots_.size()) / owned_in_window);
+}
+
+double LinkEstimator::available_rate_pps(sim::Time now) const {
+  return cfg_.node_capacity_pps * (1.0 - utilization(now));
+}
+
+core::LinkView LinkEstimator::view(core::NodeId neighbor,
+                                   sim::Time now) const {
+  core::LinkView v;
+  v.loss_rate = loss_rate(neighbor);
+  v.available_rate_pps = available_rate_pps(now);
+  v.avg_attempts = avg_attempts(neighbor);
+  return v;
+}
+
+}  // namespace jtp::mac

@@ -1,0 +1,69 @@
+// Per-link statistics kept by the MAC (paper §2, §2.2.2).
+//
+// JAVeLEN's MAC keeps, per neighbor: an estimate of the packet loss rate
+// (EWMA over per-transmission outcomes) and of the average number of
+// MAC-level transmissions per delivered packet. Node-wide, it tracks the
+// share of owned slots actually used over a sliding window, from which the
+// available (idle) transmission rate is derived. iJTP reads all three via
+// core::LinkView.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+#include "core/env.h"
+#include "core/types.h"
+#include "sim/time.h"
+
+namespace jtp::mac {
+
+struct LinkEstimatorConfig {
+  double loss_alpha = 0.1;          // EWMA weight for loss estimates
+  double attempts_alpha = 0.1;      // EWMA weight for attempts/packet
+  double initial_loss = 0.1;        // prior before any sample
+  double utilization_window_s = 20.0;
+  double node_capacity_pps = 1.0;   // owned-slot rate, set by the MAC
+};
+
+class LinkEstimator {
+ public:
+  explicit LinkEstimator(LinkEstimatorConfig cfg = {});
+
+  // One MAC-level transmission outcome toward `neighbor`.
+  void record_attempt(core::NodeId neighbor, bool lost);
+
+  // A packet left the queue toward `neighbor` after `attempts` tries
+  // (delivered or given up); feeds the avg-attempts estimate.
+  void record_packet(core::NodeId neighbor, int attempts);
+
+  // A slot owned by this node was used at time `t` (for utilization).
+  void record_slot_used(sim::Time t);
+
+  double loss_rate(core::NodeId neighbor) const;
+  double avg_attempts(core::NodeId neighbor) const;
+
+  // Idle capacity in packets/s: capacity × (1 − utilization).
+  double available_rate_pps(sim::Time now) const;
+  double utilization(sim::Time now) const;
+
+  core::LinkView view(core::NodeId neighbor, sim::Time now) const;
+
+  void set_capacity_pps(double pps) { cfg_.node_capacity_pps = pps; }
+  const LinkEstimatorConfig& config() const { return cfg_; }
+
+ private:
+  struct PerLink {
+    double loss = 0.0;
+    bool loss_init = false;
+    double attempts = 1.0;
+    bool attempts_init = false;
+  };
+  void prune(sim::Time now) const;
+
+  LinkEstimatorConfig cfg_;
+  std::unordered_map<core::NodeId, PerLink> links_;
+  mutable std::deque<sim::Time> used_slots_;  // timestamps within window
+};
+
+}  // namespace jtp::mac

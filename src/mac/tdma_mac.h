@@ -1,0 +1,118 @@
+// TDMA MAC instance (one per node).
+//
+// Owns the node's transmit queue and drives the attempt/retry state
+// machine inside the node's scheduled slots. The transport layer hooks in
+// at two points, matching the paper's iJTP plug-in architecture (§2.2.2):
+//   * pre-xmit hook — invoked immediately before every over-the-air
+//     transmission; may drop the packet (energy budget) and, on the first
+//     attempt, fixes the packet's attempt budget;
+//   * delivery hook — invoked by the network fabric when a transmission
+//     succeeds, handing the packet to the next node's stack.
+// Per-link loss / available-rate / attempts statistics live in the
+// embedded LinkEstimator.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "core/env.h"
+#include "core/packet.h"
+#include "core/types.h"
+#include "mac/link_estimator.h"
+#include "mac/tdma_schedule.h"
+#include "phy/channel.h"
+#include "phy/energy_model.h"
+#include "sim/simulator.h"
+
+namespace jtp::mac {
+
+struct MacConfig {
+  std::size_t queue_capacity_packets = 50;
+  int default_max_attempts = 5;  // used when no pre-xmit hook overrides
+  LinkEstimatorConfig estimator;
+};
+
+struct PreXmitDecision {
+  bool drop = false;
+  int max_attempts = 0;  // 0 = keep MAC default
+};
+
+class TdmaMac {
+ public:
+  // Hook signatures. `tx_energy` is what this attempt will cost the sender;
+  // `first_attempt` is true the first time this packet hits the air here.
+  using PreXmitHook = std::function<PreXmitDecision(
+      core::Packet&, core::NodeId next_hop, const core::LinkView&,
+      core::Joules tx_energy, bool first_attempt)>;
+  using DeliverHook =
+      std::function<void(core::Packet&&, core::NodeId from, core::NodeId to)>;
+  using AttemptBudgetTrace =
+      std::function<void(sim::Time, const core::Packet&, int max_attempts)>;
+
+  TdmaMac(sim::Simulator& sim, const TdmaSchedule& schedule,
+          phy::Channel& channel, phy::EnergyModel& energy, core::NodeId self,
+          MacConfig cfg = {});
+
+  void set_pre_xmit(PreXmitHook hook) { pre_xmit_ = std::move(hook); }
+  void set_deliver(DeliverHook hook) { deliver_ = std::move(hook); }
+  void set_attempt_trace(AttemptBudgetTrace t) { attempt_trace_ = std::move(t); }
+
+  // Queues a packet for `next_hop`. Returns false (and counts a queue
+  // drop) when the queue is full.
+  bool enqueue(core::Packet p, core::NodeId next_hop);
+
+  core::NodeId self() const { return self_; }
+  LinkEstimator& estimator() { return estimator_; }
+  const LinkEstimator& estimator() const { return estimator_; }
+  std::size_t queue_length() const { return queue_.size() + ctrl_queue_.size(); }
+  std::size_t data_queue_length() const { return queue_.size(); }
+
+  // --- counters ---
+  std::uint64_t queue_drops() const { return queue_drops_; }
+  std::uint64_t attempt_exhausted_drops() const { return attempt_drops_; }
+  std::uint64_t energy_budget_drops() const { return budget_drops_; }
+  std::uint64_t transmissions() const { return transmissions_; }
+  std::uint64_t deliveries() const { return deliveries_; }
+
+ private:
+  struct Entry {
+    core::Packet packet;
+    core::NodeId next_hop = core::kInvalidNode;
+    int attempts_done = 0;
+    int max_attempts = 0;  // fixed on first attempt
+  };
+
+  void schedule_next_tx();
+  void transmit_head();
+  void finish_head(std::deque<Entry>& q, bool delivered);
+  std::deque<Entry>* current_queue();
+
+  sim::Simulator& sim_;
+  const TdmaSchedule& schedule_;
+  phy::Channel& channel_;
+  phy::EnergyModel& energy_;
+  core::NodeId self_;
+  MacConfig cfg_;
+  LinkEstimator estimator_;
+
+  // Control traffic (ACKs) is transmitted before data: feedback keeps the
+  // rate controllers honest precisely when queues are backlogged, and an
+  // ACK stuck behind 50 data packets per hop arrives too stale to matter.
+  std::deque<Entry> ctrl_queue_;
+  std::deque<Entry> queue_;
+  bool tx_scheduled_ = false;
+  std::uint64_t min_slot_ = 0;  // earliest slot the next tx may use
+
+  PreXmitHook pre_xmit_;
+  DeliverHook deliver_;
+  AttemptBudgetTrace attempt_trace_;
+
+  std::uint64_t queue_drops_ = 0;
+  std::uint64_t attempt_drops_ = 0;
+  std::uint64_t budget_drops_ = 0;
+  std::uint64_t transmissions_ = 0;
+  std::uint64_t deliveries_ = 0;
+};
+
+}  // namespace jtp::mac

@@ -1,0 +1,155 @@
+#include "net/network.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace jtp::net {
+
+Network::Network(phy::Topology topology, NetworkConfig cfg)
+    : cfg_(cfg),
+      rng_(cfg.seed),
+      topo_(std::move(topology)),
+      channel_(cfg.channel, sim::Rng(cfg.seed).derive("channel")),
+      energy_(topo_.size(), cfg.radio),
+      schedule_(topo_.size(), cfg.slot_duration_s, cfg.seed ^ 0x7d3aULL),
+      env_(sim_) {
+  routing_ = std::make_unique<routing::LinkStateRouting>(sim_, topo_,
+                                                         cfg.routing);
+  if (cfg.mobility) {
+    mobility_ = std::make_unique<phy::RandomWaypoint>(
+        sim_, topo_, *cfg.mobility, rng_.derive("mobility"));
+  }
+  macs_.reserve(topo_.size());
+  nodes_.reserve(topo_.size());
+  for (core::NodeId id = 0; id < topo_.size(); ++id) {
+    macs_.push_back(std::make_unique<mac::TdmaMac>(
+        sim_, schedule_, channel_, energy_, id, cfg.mac));
+    nodes_.push_back(
+        std::make_unique<Node>(id, *macs_.back(), *routing_, flows_, cfg.node));
+  }
+  // Fabric: successful transmissions land at the destination node's stack.
+  for (auto& m : macs_) {
+    m->set_deliver([this](core::Packet&& p, core::NodeId from,
+                          core::NodeId to) {
+      nodes_.at(to)->handle_delivery(std::move(p), from);
+    });
+  }
+}
+
+Network::~Network() = default;
+
+core::FlowId Network::allocate_flow(TransportKind kind) {
+  const core::FlowId id = next_flow_id_++;
+  flows_.register_flow(id, kind);
+  return id;
+}
+
+JtpFlow Network::add_jtp_flow(core::SenderConfig scfg,
+                              core::ReceiverConfig rcfg) {
+  if (scfg.src >= size() || scfg.dst >= size())
+    throw std::invalid_argument("add_jtp_flow: endpoint out of range");
+  const core::FlowId flow = allocate_flow(TransportKind::kJtp);
+  scfg.flow = flow;
+  rcfg.flow = flow;
+  rcfg.src = scfg.src;
+  rcfg.dst = scfg.dst;
+  rcfg.cache_size_packets = cfg_.node.ijtp.cache_capacity_packets;
+
+  jtp_senders_.push_back(std::make_unique<core::EjtpSender>(
+      env_, node(scfg.src), scfg));
+  jtp_receivers_.push_back(std::make_unique<core::EjtpReceiver>(
+      env_, node(scfg.dst), rcfg));
+  auto* snd = jtp_senders_.back().get();
+  auto* rcv = jtp_receivers_.back().get();
+
+  node(scfg.dst).attach_data_handler(
+      flow, [rcv](const core::Packet& p) { rcv->on_data(p); });
+  node(scfg.src).attach_ack_handler(
+      flow, [snd](const core::Packet& p) { snd->on_ack(p); });
+  return {snd, rcv};
+}
+
+TcpFlow Network::add_tcp_flow(baselines::TcpConfig cfg) {
+  if (cfg.src >= size() || cfg.dst >= size())
+    throw std::invalid_argument("add_tcp_flow: endpoint out of range");
+  cfg.flow = allocate_flow(TransportKind::kTcp);
+
+  tcp_senders_.push_back(
+      std::make_unique<baselines::TcpSackSender>(env_, node(cfg.src), cfg));
+  tcp_receivers_.push_back(
+      std::make_unique<baselines::TcpSackReceiver>(env_, node(cfg.dst), cfg));
+  auto* snd = tcp_senders_.back().get();
+  auto* rcv = tcp_receivers_.back().get();
+
+  node(cfg.dst).attach_data_handler(
+      cfg.flow, [rcv](const core::Packet& p) { rcv->on_data(p); });
+  node(cfg.src).attach_ack_handler(
+      cfg.flow, [snd](const core::Packet& p) { snd->on_ack(p); });
+  return {snd, rcv};
+}
+
+AtpFlow Network::add_atp_flow(baselines::AtpConfig cfg) {
+  if (cfg.src >= size() || cfg.dst >= size())
+    throw std::invalid_argument("add_atp_flow: endpoint out of range");
+  cfg.flow = allocate_flow(TransportKind::kAtp);
+
+  atp_senders_.push_back(
+      std::make_unique<baselines::AtpSender>(env_, node(cfg.src), cfg));
+  atp_receivers_.push_back(
+      std::make_unique<baselines::AtpReceiver>(env_, node(cfg.dst), cfg));
+  auto* snd = atp_senders_.back().get();
+  auto* rcv = atp_receivers_.back().get();
+
+  node(cfg.dst).attach_data_handler(
+      cfg.flow, [rcv](const core::Packet& p) { rcv->on_data(p); });
+  node(cfg.src).attach_ack_handler(
+      cfg.flow, [snd](const core::Packet& p) { snd->on_ack(p); });
+  return {snd, rcv};
+}
+
+void Network::run_until(double t) {
+  if (!started_) {
+    started_ = true;
+    routing_->start();
+    if (mobility_) {
+      mobility_->start();
+      // Keep routes reasonably fresh under motion: the periodic link-state
+      // refresh handles it; no per-move recompute (that would be an
+      // oracle, and the staleness is part of what Fig. 11 measures).
+    }
+  }
+  sim_.run_until(t);
+}
+
+std::uint64_t Network::total_queue_drops() const {
+  std::uint64_t n = 0;
+  for (const auto& m : macs_) n += m->queue_drops();
+  return n;
+}
+std::uint64_t Network::total_attempt_drops() const {
+  std::uint64_t n = 0;
+  for (const auto& m : macs_) n += m->attempt_exhausted_drops();
+  return n;
+}
+std::uint64_t Network::total_energy_budget_drops() const {
+  std::uint64_t n = 0;
+  for (const auto& m : macs_) n += m->energy_budget_drops();
+  return n;
+}
+std::uint64_t Network::total_cache_retransmissions() const {
+  std::uint64_t n = 0;
+  for (const auto& nd : nodes_) n += nd->ijtp().cache_retransmissions();
+  return n;
+}
+std::uint64_t Network::total_transmissions() const {
+  std::uint64_t n = 0;
+  for (const auto& m : macs_) n += m->transmissions();
+  return n;
+}
+std::uint64_t Network::total_route_drops() const {
+  std::uint64_t n = 0;
+  for (const auto& nd : nodes_) n += nd->route_drops();
+  return n;
+}
+
+}  // namespace jtp::net

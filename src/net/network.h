@@ -1,0 +1,125 @@
+// Network: owns the whole simulated system and wires flows onto it.
+//
+// One Network = one simulation run: simulator, topology, channel, energy
+// model, TDMA schedule, routing service, one MAC + Node per vertex, and a
+// registry of transport endpoints (JTP / TCP-SACK / ATP) attached to
+// nodes. This is the "adaptation layer" through which experiments and
+// examples use the library.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "baselines/atp.h"
+#include "baselines/tcp_sack.h"
+#include "core/ejtp_receiver.h"
+#include "core/ejtp_sender.h"
+#include "mac/tdma_mac.h"
+#include "mac/tdma_schedule.h"
+#include "net/node.h"
+#include "net/sim_env.h"
+#include "phy/channel.h"
+#include "phy/energy_model.h"
+#include "phy/mobility.h"
+#include "phy/topology.h"
+#include "routing/link_state.h"
+#include "sim/random.h"
+#include "sim/simulator.h"
+
+namespace jtp::net {
+
+struct NetworkConfig {
+  std::uint64_t seed = 1;
+  phy::ChannelConfig channel;
+  phy::RadioConfig radio;
+  mac::MacConfig mac;
+  routing::RoutingConfig routing;
+  NodeConfig node;
+  double slot_duration_s = 0.035;  // ~ one max-size packet airtime
+  std::optional<phy::MobilityConfig> mobility;  // engaged => nodes move
+};
+
+struct JtpFlow {
+  core::EjtpSender* sender = nullptr;
+  core::EjtpReceiver* receiver = nullptr;
+};
+struct TcpFlow {
+  baselines::TcpSackSender* sender = nullptr;
+  baselines::TcpSackReceiver* receiver = nullptr;
+};
+struct AtpFlow {
+  baselines::AtpSender* sender = nullptr;
+  baselines::AtpReceiver* receiver = nullptr;
+};
+
+class Network {
+ public:
+  Network(phy::Topology topology, NetworkConfig cfg = {});
+  ~Network();
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  // --- flow attachment (endpoints are owned by the network) ---
+  JtpFlow add_jtp_flow(core::SenderConfig scfg, core::ReceiverConfig rcfg);
+  TcpFlow add_tcp_flow(baselines::TcpConfig cfg);
+  AtpFlow add_atp_flow(baselines::AtpConfig cfg);
+
+  // --- access ---
+  sim::Simulator& simulator() { return sim_; }
+  phy::Topology& topology() { return topo_; }
+  phy::Channel& channel() { return channel_; }
+  phy::EnergyModel& energy() { return energy_; }
+  routing::LinkStateRouting& routing() { return *routing_; }
+  const mac::TdmaSchedule& schedule() const { return schedule_; }
+  Node& node(core::NodeId id) { return *nodes_.at(id); }
+  mac::TdmaMac& mac_of(core::NodeId id) { return *macs_.at(id); }
+  std::size_t size() const { return nodes_.size(); }
+  sim::Rng& rng() { return rng_; }
+  const NetworkConfig& config() const { return cfg_; }
+
+  // Starts routing refresh (and mobility if configured) and runs the
+  // simulation until `t`.
+  void run_until(double t);
+
+  // --- aggregate counters across nodes ---
+  std::uint64_t total_queue_drops() const;
+  std::uint64_t total_attempt_drops() const;
+  std::uint64_t total_energy_budget_drops() const;
+  std::uint64_t total_cache_retransmissions() const;
+  std::uint64_t total_transmissions() const;
+  std::uint64_t total_route_drops() const;
+
+ private:
+  core::FlowId next_flow_id_ = 1;
+
+  NetworkConfig cfg_;
+  sim::Simulator sim_;
+  sim::Rng rng_;
+  phy::Topology topo_;
+  phy::Channel channel_;
+  phy::EnergyModel energy_;
+  mac::TdmaSchedule schedule_;
+  std::unique_ptr<routing::LinkStateRouting> routing_;
+  std::unique_ptr<phy::RandomWaypoint> mobility_;
+  SimEnv env_;
+  FlowTable flows_;
+  std::vector<std::unique_ptr<mac::TdmaMac>> macs_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  bool started_ = false;
+
+  // Endpoint storage (stable addresses).
+  std::vector<std::unique_ptr<core::EjtpSender>> jtp_senders_;
+  std::vector<std::unique_ptr<core::EjtpReceiver>> jtp_receivers_;
+  std::vector<std::unique_ptr<baselines::TcpSackSender>> tcp_senders_;
+  std::vector<std::unique_ptr<baselines::TcpSackReceiver>> tcp_receivers_;
+  std::vector<std::unique_ptr<baselines::AtpSender>> atp_senders_;
+  std::vector<std::unique_ptr<baselines::AtpReceiver>> atp_receivers_;
+
+ public:
+  // Allocates a fresh flow id (visible for custom wiring in tests).
+  core::FlowId allocate_flow(TransportKind kind);
+  FlowTable& flow_table() { return flows_; }
+};
+
+}  // namespace jtp::net

@@ -1,0 +1,101 @@
+// A network node: MAC + iJTP plug-in + routing client + local endpoints.
+//
+// The node is the composition point of the stack. It implements the
+// per-packet pipeline of Figure 1:
+//   outbound:  endpoint -> route lookup -> MAC queue -> (pre-xmit hook:
+//              iJTP Algorithm 1 for JTP flows) -> air;
+//   inbound:   air -> (post-receive hook: iJTP Algorithm 2 — cache data,
+//              serve SNACKs from cache) -> local delivery or forward.
+// Which treatment a packet gets depends on its flow's transport kind,
+// looked up in the network-wide flow table.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "core/ijtp.h"
+#include "core/packet.h"
+#include "core/types.h"
+#include "mac/tdma_mac.h"
+#include "routing/link_state.h"
+
+namespace jtp::net {
+
+enum class TransportKind : std::uint8_t { kJtp, kTcp, kAtp };
+
+// Shared flow -> transport registry (one per Network).
+class FlowTable {
+ public:
+  void register_flow(core::FlowId flow, TransportKind kind) {
+    kinds_[flow] = kind;
+  }
+  TransportKind kind(core::FlowId flow) const {
+    auto it = kinds_.find(flow);
+    return it == kinds_.end() ? TransportKind::kJtp : it->second;
+  }
+
+ private:
+  std::unordered_map<core::FlowId, TransportKind> kinds_;
+};
+
+struct NodeConfig {
+  core::IjtpConfig ijtp;
+  int baseline_max_attempts = core::kDefaultMaxAttempts;
+  // Horizon over which standing queue backlog is converted into an
+  // available-rate discount for JTP's stamp (shorter = more conservative
+  // congestion avoidance).
+  double backlog_drain_horizon_s = 5.0;
+};
+
+class Node final : public core::PacketSink {
+ public:
+  Node(core::NodeId id, mac::TdmaMac& mac,
+       const routing::LinkStateRouting& routing, const FlowTable& flows,
+       NodeConfig cfg = {});
+
+  core::NodeId id() const { return id_; }
+  core::IjtpModule& ijtp() { return ijtp_; }
+  const core::IjtpModule& ijtp() const { return ijtp_; }
+  mac::TdmaMac& mac() { return mac_; }
+
+  // PacketSink: local endpoints and the forwarding path inject here.
+  void send(core::Packet p) override;
+
+  // Like send(), but reports whether the packet was accepted by the MAC
+  // queue (false on route failure or queue overflow). Used by iJTP's
+  // cache-retransmission path, which must know if the copy really left.
+  bool try_send(core::Packet p);
+
+  // Called by the network fabric when a transmission reaches this node.
+  void handle_delivery(core::Packet&& p, core::NodeId from);
+
+  // Local endpoint registration. Data handler runs for data packets whose
+  // dst is this node; ack handler for ACKs whose dst is this node.
+  using PacketHandler = std::function<void(const core::Packet&)>;
+  void attach_data_handler(core::FlowId flow, PacketHandler h);
+  void attach_ack_handler(core::FlowId flow, PacketHandler h);
+
+  std::uint64_t route_drops() const { return route_drops_; }
+  std::uint64_t forwarded() const { return forwarded_; }
+
+ private:
+  mac::PreXmitDecision pre_xmit(core::Packet& p, core::NodeId next_hop,
+                                const core::LinkView& link,
+                                core::Joules tx_energy, bool first_attempt);
+
+  core::NodeId id_;
+  mac::TdmaMac& mac_;
+  const routing::LinkStateRouting& routing_;
+  const FlowTable& flows_;
+  NodeConfig cfg_;
+  core::IjtpModule ijtp_;
+
+  std::unordered_map<core::FlowId, PacketHandler> data_handlers_;
+  std::unordered_map<core::FlowId, PacketHandler> ack_handlers_;
+
+  std::uint64_t route_drops_ = 0;
+  std::uint64_t forwarded_ = 0;
+};
+
+}  // namespace jtp::net

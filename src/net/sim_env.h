@@ -1,0 +1,24 @@
+// Adapter: sim::Simulator as the core::Env the shared protocol code needs.
+// This is the OPNET/Linux "adaptation layer" analogue from the paper (§6).
+#pragma once
+
+#include "core/env.h"
+#include "sim/simulator.h"
+
+namespace jtp::net {
+
+class SimEnv final : public core::Env {
+ public:
+  explicit SimEnv(sim::Simulator& sim) : sim_(sim) {}
+
+  double now() const override { return sim_.now(); }
+  core::TimerId schedule(double delay_s, std::function<void()> fn) override {
+    return sim_.schedule(delay_s, std::move(fn));
+  }
+  void cancel(core::TimerId id) override { sim_.cancel(id); }
+
+ private:
+  sim::Simulator& sim_;
+};
+
+}  // namespace jtp::net

@@ -1,0 +1,59 @@
+// Per-link loss process: two-state Gilbert–Elliott model.
+//
+// The paper's linear-topology experiments alternate each link's average
+// pathloss between a good state (low loss) and a bad state (high loss),
+// with the link in the bad state ~10% of the time and a mean bad dwell of
+// 3 s (§6.1.1). Dwell times are exponential; state is advanced lazily at
+// query time, so idle links cost nothing.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+
+#include "core/types.h"
+#include "sim/random.h"
+#include "sim/time.h"
+
+namespace jtp::phy {
+
+struct ChannelConfig {
+  double loss_good = 0.02;      // per-transmission loss prob, good state
+  double loss_bad = 0.45;       // per-transmission loss prob, bad state
+  double bad_fraction = 0.10;   // long-run share of time in bad state
+  double mean_bad_dwell_s = 3.0;
+  bool fading_enabled = true;   // false => always good (testbed regime)
+};
+
+class Channel {
+ public:
+  Channel(ChannelConfig cfg, sim::Rng rng);
+
+  // Current loss probability of directed link (a -> b) at time `now`.
+  double loss_probability(core::NodeId a, core::NodeId b, sim::Time now);
+
+  // True in the bad state (for tests/traces).
+  bool in_bad_state(core::NodeId a, core::NodeId b, sim::Time now);
+
+  // Draws the fate of one transmission attempt on (a -> b).
+  bool transmission_lost(core::NodeId a, core::NodeId b, sim::Time now);
+
+  const ChannelConfig& config() const { return cfg_; }
+  double mean_good_dwell_s() const;
+
+ private:
+  struct LinkState {
+    bool bad = false;
+    sim::Time next_flip = 0.0;
+    sim::Rng rng{0};
+  };
+  LinkState& state_for(core::NodeId a, core::NodeId b);
+  void advance(LinkState& s, sim::Time now);
+
+  ChannelConfig cfg_;
+  sim::Rng master_;
+  // Links are undirected for fading purposes: key is the sorted pair.
+  std::map<std::pair<core::NodeId, core::NodeId>, LinkState> links_;
+};
+
+}  // namespace jtp::phy

@@ -1,0 +1,31 @@
+#include "phy/energy_model.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace jtp::phy {
+
+EnergyModel::EnergyModel(std::size_t n_nodes, RadioConfig cfg)
+    : cfg_(cfg), per_node_(n_nodes, 0.0) {
+  if (cfg.datarate_bps <= 0 || cfg.tx_power_w <= 0 || cfg.rx_power_w <= 0)
+    throw std::invalid_argument("EnergyModel: non-positive radio parameter");
+}
+
+void EnergyModel::charge_tx(core::NodeId node, double bits) {
+  const core::Joules e = tx_energy(bits);
+  per_node_.at(node) += e;
+  total_ += e;
+}
+
+void EnergyModel::charge_rx(core::NodeId node, double bits) {
+  const core::Joules e = rx_energy(bits);
+  per_node_.at(node) += e;
+  total_ += e;
+}
+
+void EnergyModel::reset() {
+  std::fill(per_node_.begin(), per_node_.end(), 0.0);
+  total_ = 0.0;
+}
+
+}  // namespace jtp::phy

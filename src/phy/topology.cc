@@ -1,0 +1,82 @@
+#include "phy/topology.h"
+
+#include <cmath>
+#include <queue>
+#include <stdexcept>
+
+#include "sim/random.h"
+
+namespace jtp::phy {
+
+double distance(const Position& a, const Position& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+Topology::Topology(std::size_t n_nodes, double radio_range_m)
+    : pos_(n_nodes), range_(radio_range_m) {
+  if (n_nodes == 0) throw std::invalid_argument("Topology: no nodes");
+  if (radio_range_m <= 0) throw std::invalid_argument("Topology: bad range");
+}
+
+bool Topology::in_range(core::NodeId a, core::NodeId b) const {
+  if (a == b) return false;
+  return distance(pos_.at(a), pos_.at(b)) <= range_;
+}
+
+std::vector<core::NodeId> Topology::neighbors(core::NodeId id) const {
+  std::vector<core::NodeId> out;
+  for (core::NodeId j = 0; j < pos_.size(); ++j)
+    if (in_range(id, j)) out.push_back(j);
+  return out;
+}
+
+bool Topology::connected() const {
+  std::vector<bool> seen(pos_.size(), false);
+  std::queue<core::NodeId> q;
+  q.push(0);
+  seen[0] = true;
+  std::size_t visited = 1;
+  while (!q.empty()) {
+    const core::NodeId u = q.front();
+    q.pop();
+    for (core::NodeId v : neighbors(u)) {
+      if (!seen[v]) {
+        seen[v] = true;
+        ++visited;
+        q.push(v);
+      }
+    }
+  }
+  return visited == pos_.size();
+}
+
+Topology Topology::linear(std::size_t n, double spacing_m, double range_m) {
+  if (spacing_m >= range_m)
+    throw std::invalid_argument("Topology::linear: spacing >= range");
+  // Keep the chain strictly multi-hop: the range must not skip a neighbor.
+  if (2 * spacing_m <= range_m)
+    throw std::invalid_argument(
+        "Topology::linear: range covers two hops; chain would short-cut");
+  Topology t(n, range_m);
+  for (std::size_t i = 0; i < n; ++i)
+    t.pos_[i] = {static_cast<double>(i) * spacing_m, 0.0};
+  return t;
+}
+
+Topology Topology::random_connected(std::size_t n, double field_m,
+                                    double range_m, sim::Rng& rng,
+                                    int max_tries) {
+  for (int attempt = 0; attempt < max_tries; ++attempt) {
+    Topology t(n, range_m);
+    for (std::size_t i = 0; i < n; ++i)
+      t.pos_[i] = {rng.uniform(0.0, field_m), rng.uniform(0.0, field_m)};
+    if (t.connected()) return t;
+  }
+  throw std::runtime_error(
+      "Topology::random_connected: no connected placement found; "
+      "shrink the field or raise the range");
+}
+
+}  // namespace jtp::phy

@@ -1,0 +1,57 @@
+// Node placement and range-based connectivity.
+//
+// Builders for the paper's three scenario families: linear chains (§6.1.1),
+// connected random fields (§6.1.2), and the 14-node indoor testbed
+// (Table 2). Positions are mutable to support mobility.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/types.h"
+
+namespace jtp::sim {
+class Rng;
+}
+
+namespace jtp::phy {
+
+struct Position {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+double distance(const Position& a, const Position& b);
+
+class Topology {
+ public:
+  Topology(std::size_t n_nodes, double radio_range_m);
+
+  std::size_t size() const { return pos_.size(); }
+  double radio_range() const { return range_; }
+
+  const Position& position(core::NodeId id) const { return pos_.at(id); }
+  void set_position(core::NodeId id, Position p) { pos_.at(id) = p; }
+
+  bool in_range(core::NodeId a, core::NodeId b) const;
+  std::vector<core::NodeId> neighbors(core::NodeId id) const;
+
+  // True if the range graph is a single connected component.
+  bool connected() const;
+
+  // --- builders ---
+  // Chain of n nodes spaced `spacing` apart (spacing < range).
+  static Topology linear(std::size_t n, double spacing_m, double range_m);
+
+  // Uniform random placement in a square field; resamples until connected
+  // (the paper sizes the field so connectivity holds w.h.p.).
+  static Topology random_connected(std::size_t n, double field_m,
+                                   double range_m, sim::Rng& rng,
+                                   int max_tries = 200);
+
+ private:
+  std::vector<Position> pos_;
+  double range_;
+};
+
+}  // namespace jtp::phy

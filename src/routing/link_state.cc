@@ -1,0 +1,110 @@
+#include "routing/link_state.h"
+
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace jtp::routing {
+
+namespace {
+constexpr int kUnreachable = std::numeric_limits<int>::max();
+}
+
+LinkStateRouting::LinkStateRouting(sim::Simulator& sim,
+                                   const phy::Topology& topo,
+                                   RoutingConfig cfg)
+    : sim_(sim), topo_(topo), cfg_(cfg) {
+  if (cfg.refresh_interval_s <= 0)
+    throw std::invalid_argument("LinkStateRouting: bad refresh interval");
+  recompute();
+}
+
+void LinkStateRouting::start() {
+  if (started_) return;
+  started_ = true;
+  struct Rearm {
+    LinkStateRouting* self;
+    double period;
+    void operator()() const {
+      self->refresh();
+      self->sim_.schedule(period, Rearm{self, period});
+    }
+  };
+  sim_.schedule(cfg_.refresh_interval_s, Rearm{this, cfg_.refresh_interval_s});
+}
+
+void LinkStateRouting::refresh() { recompute(); }
+
+void LinkStateRouting::recompute() {
+  const std::size_t n = topo_.size();
+  dist_.assign(n, std::vector<int>(n, kUnreachable));
+  next_.assign(n, std::vector<core::NodeId>(n, core::kInvalidNode));
+  // BFS from every source over the unit-cost range graph.
+  for (core::NodeId s = 0; s < n; ++s) {
+    auto& dist = dist_[s];
+    auto& next = next_[s];
+    dist[s] = 0;
+    std::queue<core::NodeId> q;
+    q.push(s);
+    std::vector<core::NodeId> parent(n, core::kInvalidNode);
+    while (!q.empty()) {
+      const core::NodeId u = q.front();
+      q.pop();
+      for (core::NodeId v : topo_.neighbors(u)) {
+        if (dist[v] != kUnreachable) continue;
+        dist[v] = dist[u] + 1;
+        parent[v] = u;
+        q.push(v);
+      }
+    }
+    // First hop toward each destination: walk parents back to s.
+    for (core::NodeId d = 0; d < n; ++d) {
+      if (d == s || dist[d] == kUnreachable) continue;
+      core::NodeId hop = d;
+      while (parent[hop] != s) hop = parent[hop];
+      next[d] = hop;
+    }
+  }
+  ++refreshes_;
+}
+
+void LinkStateRouting::maybe_oracle_refresh() const {
+  if (cfg_.oracle) const_cast<LinkStateRouting*>(this)->recompute();
+}
+
+std::optional<core::NodeId> LinkStateRouting::next_hop(core::NodeId at,
+                                                       core::NodeId dst) const {
+  maybe_oracle_refresh();
+  if (at >= next_.size() || dst >= next_.size()) return std::nullopt;
+  if (at == dst) return std::nullopt;
+  const core::NodeId h = next_[at][dst];
+  if (h == core::kInvalidNode) return std::nullopt;
+  return h;
+}
+
+std::optional<int> LinkStateRouting::hops(core::NodeId at,
+                                          core::NodeId dst) const {
+  maybe_oracle_refresh();
+  if (at >= dist_.size() || dst >= dist_.size()) return std::nullopt;
+  const int d = dist_[at][dst];
+  if (d == kUnreachable) return std::nullopt;
+  return d;
+}
+
+std::optional<std::vector<core::NodeId>> LinkStateRouting::path(
+    core::NodeId src, core::NodeId dst) const {
+  maybe_oracle_refresh();
+  if (src >= next_.size() || dst >= next_.size()) return std::nullopt;
+  std::vector<core::NodeId> p{src};
+  core::NodeId cur = src;
+  while (cur != dst) {
+    const core::NodeId h = next_[cur][dst];
+    if (h == core::kInvalidNode) return std::nullopt;
+    p.push_back(h);
+    cur = h;
+    if (p.size() > next_.size()) return std::nullopt;  // defensive: loop
+  }
+  return p;
+}
+
+}  // namespace jtp::routing

@@ -1,0 +1,75 @@
+// Link-state routing with possibly-stale topology views (paper §2, [29]).
+//
+// JAVeLEN runs an energy-conserving link-state protocol that gives every
+// node a local, *possibly inaccurate*, view of the topology. JTP consumes
+// exactly three things from it: the next hop toward a destination, an
+// estimate of the remaining path length H_i (used by the reliability math,
+// eq. 4), and route symmetry (ACKs retrace the data path, which is what
+// lets caches observe them).
+//
+// We model the protocol's outcome rather than its packet exchange: the
+// service snapshots the real connectivity graph every `refresh_interval_s`
+// and answers all queries from the latest snapshot. Between refreshes the
+// view goes stale exactly the way a periodic link-state flood would. The
+// flood's own traffic is excluded from energy accounting, consistent with
+// the paper's metric ("we will not consider the energy consumed for
+// network maintenance by the lower layers").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/types.h"
+#include "phy/topology.h"
+#include "sim/simulator.h"
+
+namespace jtp::routing {
+
+struct RoutingConfig {
+  double refresh_interval_s = 5.0;  // staleness bound of the view
+  bool oracle = false;              // true => refresh before every query
+};
+
+class LinkStateRouting {
+ public:
+  LinkStateRouting(sim::Simulator& sim, const phy::Topology& topo,
+                   RoutingConfig cfg = {});
+
+  // Starts periodic snapshot refreshes.
+  void start();
+
+  // Forces an immediate snapshot (tests, oracle mode, mobility hooks).
+  void refresh();
+
+  // Next hop from `at` toward `dst` per `at`'s current view.
+  // nullopt if the view has no path.
+  std::optional<core::NodeId> next_hop(core::NodeId at,
+                                       core::NodeId dst) const;
+
+  // Estimated remaining hops from `at` to `dst` (>= 1 when reachable).
+  std::optional<int> hops(core::NodeId at, core::NodeId dst) const;
+
+  // Full path per the current view (for tests and traces).
+  std::optional<std::vector<core::NodeId>> path(core::NodeId src,
+                                                core::NodeId dst) const;
+
+  std::uint64_t refreshes() const { return refreshes_; }
+  const RoutingConfig& config() const { return cfg_; }
+
+ private:
+  void maybe_oracle_refresh() const;
+  void recompute();
+
+  sim::Simulator& sim_;
+  const phy::Topology& topo_;
+  RoutingConfig cfg_;
+
+  // dist_[u][v] = hop count, next_[u][v] = first hop on a shortest path.
+  std::vector<std::vector<int>> dist_;
+  std::vector<std::vector<core::NodeId>> next_;
+  std::uint64_t refreshes_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace jtp::routing

@@ -1,0 +1,50 @@
+#include "sim/event_queue.h"
+
+#include <cassert>
+#include <utility>
+
+namespace jtp::sim {
+
+EventId EventQueue::push(Time at, std::function<void()> fn) {
+  const EventId id = next_id_++;
+  heap_.push(Entry{at, id, std::move(fn)});
+  cancelled_.push_back(false);
+  ++live_;
+  return id;
+}
+
+void EventQueue::cancel(EventId id) {
+  if (id >= cancelled_.size() || cancelled_[id]) return;
+  cancelled_[id] = true;
+  if (live_ > 0) --live_;
+}
+
+void EventQueue::drop_cancelled_head() const {
+  while (!heap_.empty() && cancelled_[heap_.top().id]) heap_.pop();
+}
+
+bool EventQueue::empty() const {
+  drop_cancelled_head();
+  return heap_.empty();
+}
+
+Time EventQueue::next_time() const {
+  drop_cancelled_head();
+  assert(!heap_.empty());
+  return heap_.top().at;
+}
+
+EventQueue::Event EventQueue::pop() {
+  drop_cancelled_head();
+  assert(!heap_.empty());
+  // priority_queue::top() is const; the entry is moved out via const_cast,
+  // which is safe because the element is popped immediately after.
+  auto& top = const_cast<Entry&>(heap_.top());
+  Event ev{top.at, top.id, std::move(top.fn)};
+  heap_.pop();
+  assert(live_ > 0);
+  --live_;
+  return ev;
+}
+
+}  // namespace jtp::sim

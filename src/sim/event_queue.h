@@ -1,0 +1,68 @@
+// Discrete-event queue: a stable min-heap of timestamped callbacks.
+//
+// Events scheduled for the same instant fire in insertion order (FIFO),
+// which keeps simulations deterministic across runs and platforms.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace jtp::sim {
+
+// Handle used to cancel a pending event. Cancellation is lazy: the event
+// stays in the heap but is skipped when popped.
+using EventId = std::uint64_t;
+
+class EventQueue {
+ public:
+  EventQueue() = default;
+
+  // Enqueues `fn` to fire at absolute time `at`. Returns a cancellation id.
+  EventId push(Time at, std::function<void()> fn);
+
+  // Marks a pending event as cancelled. Cancelling an already-fired or
+  // unknown id is a harmless no-op.
+  void cancel(EventId id);
+
+  bool empty() const;
+  std::size_t size() const { return live_; }
+
+  // Time of the earliest live event. Requires !empty().
+  Time next_time() const;
+
+  // Pops and returns the earliest live event. Requires !empty().
+  struct Event {
+    Time at{};
+    EventId id{};
+    std::function<void()> fn;
+  };
+  Event pop();
+
+  std::uint64_t total_scheduled() const { return next_id_; }
+
+ private:
+  struct Entry {
+    Time at{};
+    EventId id{};
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.id > b.id;  // FIFO among simultaneous events
+    }
+  };
+
+  void drop_cancelled_head() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  mutable std::vector<bool> cancelled_;  // indexed by EventId
+  std::size_t live_ = 0;
+  EventId next_id_ = 0;
+};
+
+}  // namespace jtp::sim

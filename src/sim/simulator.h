@@ -1,0 +1,48 @@
+// The simulation executive: clock + event loop.
+//
+// Components schedule callbacks with schedule()/at() and read the clock via
+// now(). run_until() advances virtual time; there is no wall-clock coupling.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+#include "sim/event_queue.h"
+#include "sim/time.h"
+
+namespace jtp::sim {
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  Time now() const { return now_; }
+
+  // Schedules `fn` after `delay` seconds (>= 0). Returns a cancellable id.
+  EventId schedule(Time delay, std::function<void()> fn);
+
+  // Schedules `fn` at absolute time `at` (>= now()).
+  EventId at(Time at, std::function<void()> fn);
+
+  void cancel(EventId id) { queue_.cancel(id); }
+
+  // Runs events until the queue drains or the clock passes `t`.
+  // Events at exactly `t` are executed. Returns the number of events run.
+  std::uint64_t run_until(Time t);
+
+  // Runs until the queue drains.
+  std::uint64_t run() { return run_until(std::numeric_limits<Time>::max()); }
+
+  std::uint64_t events_executed() const { return executed_; }
+  bool pending() const { return !queue_.empty(); }
+
+ private:
+  EventQueue queue_;
+  Time now_ = kTimeZero;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace jtp::sim

@@ -1,0 +1,99 @@
+// Statistics utilities: streaming summaries, confidence intervals, EWMA,
+// time-weighted averages, counters, and time series for traces.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace jtp::sim {
+
+// Streaming mean/variance via Welford's algorithm.
+class Summary {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  // sample variance (n-1 denominator)
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+  // Half-width of the 95% confidence interval of the mean (Student t).
+  double ci95_halfwidth() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Exponentially weighted moving average.
+class Ewma {
+ public:
+  explicit Ewma(double alpha);
+  void add(double x);
+  void reset() { initialized_ = false; }
+  void set_alpha(double alpha);
+  double alpha() const { return alpha_; }
+  bool initialized() const { return initialized_; }
+  double value() const { return value_; }
+  // Seeds the average without blending (used by the flip-flop filter).
+  void force(double x) { value_ = x; initialized_ = true; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool initialized_ = false;
+};
+
+// Time-weighted mean of a piecewise-constant signal (e.g. queue length).
+class TimeWeighted {
+ public:
+  void update(Time now, double new_value);
+  double mean(Time now) const;
+
+ private:
+  double value_ = 0.0;
+  double area_ = 0.0;
+  Time start_ = kTimeZero;
+  Time last_ = kTimeZero;
+  bool started_ = false;
+};
+
+// (time, value) series for plots/traces; supports windowed rate queries.
+class TimeSeries {
+ public:
+  void add(Time t, double v) { points_.push_back({t, v}); }
+  std::size_t size() const { return points_.size(); }
+  bool empty() const { return points_.empty(); }
+
+  struct Point {
+    Time t;
+    double v;
+  };
+  const std::vector<Point>& points() const { return points_; }
+
+  // Sum of values in (t - window, t].
+  double sum_in_window(Time t, Time window) const;
+
+  // Piecewise-constant resampling of cumulative-sum rate: events per second
+  // over consecutive buckets of width `bucket`.
+  std::vector<Point> bucket_rate(Time horizon, Time bucket) const;
+
+ private:
+  std::vector<Point> points_;
+};
+
+// Student-t 97.5% quantile for n-1 degrees of freedom (two-sided 95% CI).
+double t_quantile_975(std::size_t df);
+
+}  // namespace jtp::sim

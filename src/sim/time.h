@@ -1,0 +1,14 @@
+// Simulation time.
+//
+// Time is a double in seconds. All modules treat it as opaque except for
+// arithmetic; keeping a single alias makes a later switch to integral
+// ticks mechanical.
+#pragma once
+
+namespace jtp::sim {
+
+using Time = double;
+
+inline constexpr Time kTimeZero = 0.0;
+
+}  // namespace jtp::sim

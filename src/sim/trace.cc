@@ -1,0 +1,43 @@
+#include "sim/trace.h"
+
+#include <stdexcept>
+
+namespace jtp::sim {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     std::initializer_list<std::string> cols)
+    : out_(path), n_cols_(cols.size()) {
+  bool first = true;
+  for (const auto& c : cols) {
+    if (!first) out_ << ',';
+    out_ << c;
+    first = false;
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::row(std::initializer_list<double> values) {
+  if (values.size() != n_cols_)
+    throw std::invalid_argument("CsvWriter::row: column count mismatch");
+  bool first = true;
+  for (double v : values) {
+    if (!first) out_ << ',';
+    out_ << v;
+    first = false;
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::row(const std::vector<std::string>& values) {
+  if (values.size() != n_cols_)
+    throw std::invalid_argument("CsvWriter::row: column count mismatch");
+  bool first = true;
+  for (const auto& v : values) {
+    if (!first) out_ << ',';
+    out_ << v;
+    first = false;
+  }
+  out_ << '\n';
+}
+
+}  // namespace jtp::sim

@@ -1,0 +1,26 @@
+// Minimal CSV trace writer for experiment outputs.
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace jtp::sim {
+
+class CsvWriter {
+ public:
+  // Opens `path` for writing and emits the header row.
+  CsvWriter(const std::string& path, std::initializer_list<std::string> cols);
+
+  void row(std::initializer_list<double> values);
+  void row(const std::vector<std::string>& values);
+
+  bool ok() const { return static_cast<bool>(out_); }
+
+ private:
+  std::ofstream out_;
+  std::size_t n_cols_;
+};
+
+}  // namespace jtp::sim

@@ -1,0 +1,100 @@
+// Tests for the caching-gain analysis (paper §4.1, eqs. 5-6).
+#include "core/analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/random.h"
+
+namespace jtp::core {
+namespace {
+
+TEST(Analysis, CachingExpectationClosedForm) {
+  EXPECT_DOUBLE_EQ(expected_tx_with_caching(10, 4, 0.0), 40.0);
+  EXPECT_DOUBLE_EQ(expected_tx_with_caching(10, 4, 0.5), 80.0);
+}
+
+TEST(Analysis, LinkTxCappedMatchesSeries) {
+  // (1-p^n)/(1-p) = 1 + p + ... + p^{n-1}.
+  const double p = 0.3;
+  const int n = 4;
+  double series = 0.0;
+  for (int k = 0; k < n; ++k) series += std::pow(p, k);
+  EXPECT_NEAR(expected_link_tx_capped(p, n), series, 1e-12);
+}
+
+TEST(Analysis, OneHopDegeneratesToCachingForm) {
+  // Eq. (6) with H=1 and n→∞ equals eq. (5); with finite n the exact form
+  // still must agree for p=0.
+  EXPECT_NEAR(expected_tx_without_caching_exact(100, 1, 0.0, 5),
+              expected_tx_with_caching(100, 1, 0.0), 1e-9);
+}
+
+TEST(Analysis, JncAlwaysCostsAtLeastJtp) {
+  for (int h : {1, 2, 4, 8}) {
+    for (double p : {0.05, 0.2, 0.4}) {
+      for (int n : {1, 2, 5}) {
+        EXPECT_GE(expected_tx_without_caching_exact(50, h, p, n) + 1e-9,
+                  expected_tx_with_caching(50, h, p))
+            << "h=" << h << " p=" << p << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(Analysis, GainGrowsWithHops) {
+  EXPECT_GT(caching_gain(8, 0.3, 2), caching_gain(3, 0.3, 2));
+  EXPECT_GT(caching_gain(3, 0.3, 2), 1.0);
+  EXPECT_DOUBLE_EQ(caching_gain(1, 0.3, 2), 1.0);  // single hop: no gain
+}
+
+TEST(Analysis, ApproxTracksExactWhenLossesModerate) {
+  for (int h : {2, 4, 6}) {
+    const double exact = expected_tx_without_caching_exact(100, h, 0.2, 3);
+    const double approx = expected_tx_without_caching_approx(100, h, 0.2, 3);
+    EXPECT_NEAR(approx / exact, 1.0, 0.15) << "h=" << h;
+  }
+}
+
+TEST(Analysis, RejectsBadArguments) {
+  EXPECT_THROW(expected_tx_with_caching(-1, 3, 0.1), std::invalid_argument);
+  EXPECT_THROW(expected_tx_with_caching(1, 0, 0.1), std::invalid_argument);
+  EXPECT_THROW(expected_tx_with_caching(1, 3, 1.0), std::invalid_argument);
+  EXPECT_THROW(expected_tx_without_caching_exact(1, 3, 0.1, 0),
+               std::invalid_argument);
+}
+
+// Monte-Carlo cross-checks of both closed forms (the paper's Fig. 4 rests
+// on these expressions).
+class CachingGainMc
+    : public ::testing::TestWithParam<std::tuple<int, double, int>> {};
+
+TEST_P(CachingGainMc, SimulationMatchesEq5) {
+  const auto [hops, p, attempts] = GetParam();
+  (void)attempts;
+  sim::Rng rng(1234);
+  const int k = 2000;
+  const double sim = simulate_tx_with_caching(k, hops, p, rng);
+  const double expect = expected_tx_with_caching(k, hops, p);
+  EXPECT_NEAR(sim / expect, 1.0, 0.05)
+      << "hops=" << hops << " p=" << p;
+}
+
+TEST_P(CachingGainMc, SimulationMatchesEq6Exact) {
+  const auto [hops, p, attempts] = GetParam();
+  sim::Rng rng(4321);
+  const int k = 2000;
+  const double sim = simulate_tx_without_caching(k, hops, p, attempts, rng);
+  const double expect =
+      expected_tx_without_caching_exact(k, hops, p, attempts);
+  EXPECT_NEAR(sim / expect, 1.0, 0.08)
+      << "hops=" << hops << " p=" << p << " n=" << attempts;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CachingGainMc,
+    ::testing::Combine(::testing::Values(1, 2, 4, 7),
+                       ::testing::Values(0.05, 0.2, 0.35),
+                       ::testing::Values(1, 2, 5)));
+
+}  // namespace
+}  // namespace jtp::core

@@ -1,0 +1,97 @@
+#include "phy/channel.h"
+
+#include <gtest/gtest.h>
+
+namespace jtp::phy {
+namespace {
+
+ChannelConfig cfg(double bad_frac = 0.10, double bad_dwell = 3.0) {
+  ChannelConfig c;
+  c.loss_good = 0.02;
+  c.loss_bad = 0.45;
+  c.bad_fraction = bad_frac;
+  c.mean_bad_dwell_s = bad_dwell;
+  return c;
+}
+
+TEST(Channel, GoodDwellMatchesBadFraction) {
+  Channel ch(cfg(0.10, 3.0), sim::Rng(1));
+  // bad 10% of time, mean bad dwell 3s => mean good dwell 27s.
+  EXPECT_NEAR(ch.mean_good_dwell_s(), 27.0, 1e-9);
+}
+
+TEST(Channel, FadingDisabledAlwaysGood) {
+  auto c = cfg();
+  c.fading_enabled = false;
+  Channel ch(c, sim::Rng(1));
+  for (double t = 0; t < 1000; t += 10) {
+    EXPECT_FALSE(ch.in_bad_state(0, 1, t));
+    EXPECT_DOUBLE_EQ(ch.loss_probability(0, 1, t), 0.02);
+  }
+}
+
+TEST(Channel, LongRunBadFractionApproximatelyHolds) {
+  Channel ch(cfg(), sim::Rng(7));
+  int bad = 0;
+  const int samples = 40000;
+  for (int i = 0; i < samples; ++i)
+    if (ch.in_bad_state(0, 1, i * 0.5)) ++bad;
+  EXPECT_NEAR(static_cast<double>(bad) / samples, 0.10, 0.03);
+}
+
+TEST(Channel, LossProbabilityMatchesState) {
+  Channel ch(cfg(), sim::Rng(3));
+  for (double t = 0; t < 500; t += 0.7) {
+    const double p = ch.loss_probability(0, 1, t);
+    if (ch.in_bad_state(0, 1, t))
+      EXPECT_DOUBLE_EQ(p, 0.45);
+    else
+      EXPECT_DOUBLE_EQ(p, 0.02);
+  }
+}
+
+TEST(Channel, LinksFadeIndependently) {
+  Channel ch(cfg(0.4, 5.0), sim::Rng(11));
+  int differ = 0;
+  for (int i = 0; i < 1000; ++i)
+    if (ch.in_bad_state(0, 1, i * 1.0) != ch.in_bad_state(2, 3, i * 1.0))
+      ++differ;
+  EXPECT_GT(differ, 50);
+}
+
+TEST(Channel, LinkIsUndirected) {
+  Channel ch(cfg(0.5, 5.0), sim::Rng(13));
+  for (int i = 0; i < 200; ++i)
+    EXPECT_EQ(ch.in_bad_state(0, 1, i * 2.0), ch.in_bad_state(1, 0, i * 2.0));
+}
+
+TEST(Channel, TransmissionLossFrequencyInGoodState) {
+  auto c = cfg();
+  c.fading_enabled = false;
+  c.loss_good = 0.1;
+  Channel ch(c, sim::Rng(17));
+  int lost = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i)
+    if (ch.transmission_lost(0, 1, 0.0)) ++lost;
+  EXPECT_NEAR(static_cast<double>(lost) / n, 0.1, 0.02);
+}
+
+TEST(Channel, TimeMovesForwardLazily) {
+  Channel ch(cfg(), sim::Rng(19));
+  ch.in_bad_state(0, 1, 1.0);
+  // Querying far in the future advances through many flips safely.
+  EXPECT_NO_THROW(ch.in_bad_state(0, 1, 100000.0));
+}
+
+TEST(Channel, RejectsBadConfig) {
+  auto c = cfg();
+  c.bad_fraction = 1.0;
+  EXPECT_THROW(Channel(c, sim::Rng(1)), std::invalid_argument);
+  c = cfg();
+  c.mean_bad_dwell_s = 0.0;
+  EXPECT_THROW(Channel(c, sim::Rng(1)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace jtp::phy

@@ -1,0 +1,63 @@
+// Tests for the energy-budget controller (paper §5.2.4, eq. 13).
+#include "core/energy_controller.h"
+
+#include <gtest/gtest.h>
+
+namespace jtp::core {
+namespace {
+
+TEST(EnergyBudget, RejectsBetaNotAboveOne) {
+  EXPECT_THROW(EnergyBudgetController(1.0), std::invalid_argument);
+  EXPECT_THROW(EnergyBudgetController(0.5), std::invalid_argument);
+  EXPECT_NO_THROW(EnergyBudgetController(1.5));
+}
+
+TEST(EnergyBudget, ZeroBeforeAnySample) {
+  EnergyBudgetController c(2.0);
+  EXPECT_DOUBLE_EQ(c.budget(), 0.0);
+}
+
+TEST(EnergyBudget, BudgetIsBetaTimesUcl) {
+  EnergyBudgetController c(2.0);
+  c.observe(0.010);
+  // After one sample: x̄ = 0.01, R̄ = 0.005, UCL = 0.01 + 3·0.005/1.128.
+  const double ucl = 0.010 + 3.0 * 0.005 / 1.128;
+  EXPECT_NEAR(c.budget(), 2.0 * ucl, 1e-12);
+}
+
+TEST(EnergyBudget, BudgetAboveTypicalConsumption) {
+  EnergyBudgetController c(2.0);
+  for (int i = 0; i < 200; ++i) c.observe(0.010 + 0.001 * (i % 3));
+  // Budget must exceed every observed value, giving headroom for
+  // transients (that's its purpose).
+  EXPECT_GT(c.budget(), 0.012);
+}
+
+TEST(EnergyBudget, SurgeTriggersMonitor) {
+  EnergyBudgetController c(2.0);
+  for (int i = 0; i < 100; ++i) c.observe(0.010);
+  bool triggered = false;
+  for (int i = 0; i < 10; ++i) triggered |= c.observe(0.080);
+  EXPECT_TRUE(triggered);
+}
+
+TEST(EnergyBudget, BudgetTracksConsumptionLevel) {
+  EnergyBudgetController lo(2.0), hi(2.0);
+  for (int i = 0; i < 100; ++i) {
+    lo.observe(0.005);
+    hi.observe(0.050);
+  }
+  EXPECT_GT(hi.budget(), lo.budget());
+}
+
+TEST(EnergyBudget, HigherBetaGivesMoreHeadroom) {
+  EnergyBudgetController small(1.5), big(4.0);
+  for (int i = 0; i < 50; ++i) {
+    small.observe(0.02);
+    big.observe(0.02);
+  }
+  EXPECT_GT(big.budget(), small.budget());
+}
+
+}  // namespace
+}  // namespace jtp::core

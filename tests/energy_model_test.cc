@@ -1,0 +1,100 @@
+#include "phy/energy_model.h"
+
+#include <gtest/gtest.h>
+
+namespace jtp::phy {
+namespace {
+
+RadioConfig radio() {
+  RadioConfig r;
+  r.datarate_bps = 250e3;
+  r.tx_power_w = 0.075;
+  r.rx_power_w = 0.030;
+  r.fixed_overhead_s = 0.0;  // exact-value tests below assume no overhead
+  return r;
+}
+
+TEST(EnergyModel, AirtimeIsBitsOverRate) {
+  EnergyModel e(2, radio());
+  EXPECT_DOUBLE_EQ(e.airtime_s(250e3), 1.0);
+  EXPECT_DOUBLE_EQ(e.airtime_s(6624), 6624.0 / 250e3);
+}
+
+TEST(EnergyModel, TxEnergyIsPowerTimesAirtime) {
+  EnergyModel e(2, radio());
+  EXPECT_DOUBLE_EQ(e.tx_energy(250e3), 0.075);
+  EXPECT_DOUBLE_EQ(e.rx_energy(250e3), 0.030);
+}
+
+TEST(EnergyModel, ChargesAccumulatePerNode) {
+  EnergyModel e(3, radio());
+  e.charge_tx(0, 250e3);
+  e.charge_rx(1, 250e3);
+  e.charge_tx(0, 250e3);
+  EXPECT_DOUBLE_EQ(e.node_energy(0), 0.150);
+  EXPECT_DOUBLE_EQ(e.node_energy(1), 0.030);
+  EXPECT_DOUBLE_EQ(e.node_energy(2), 0.0);
+  EXPECT_DOUBLE_EQ(e.total_energy(), 0.180);
+}
+
+TEST(EnergyModel, TotalIsSumOfNodes) {
+  EnergyModel e(4, radio());
+  for (core::NodeId n = 0; n < 4; ++n) e.charge_tx(n, 1000.0 * (n + 1));
+  double sum = 0;
+  for (double v : e.per_node()) sum += v;
+  EXPECT_DOUBLE_EQ(sum, e.total_energy());
+}
+
+TEST(EnergyModel, ResetClears) {
+  EnergyModel e(2, radio());
+  e.charge_tx(0, 1e6);
+  e.reset();
+  EXPECT_DOUBLE_EQ(e.total_energy(), 0.0);
+  EXPECT_DOUBLE_EQ(e.node_energy(0), 0.0);
+}
+
+TEST(EnergyModel, TxCostsMoreThanRx) {
+  EnergyModel e(2, radio());
+  EXPECT_GT(e.tx_energy(8000), e.rx_energy(8000));
+}
+
+TEST(EnergyModel, FixedOverheadMakesShortFramesExpensive) {
+  RadioConfig r = radio();
+  r.fixed_overhead_s = 0.020;
+  EnergyModel e(2, r);
+  // A 200 B ACK vs an 828 B data packet: with a 20 ms wake-up overhead
+  // the ACK costs more than half a data transmission (the paper's
+  // "roughly as much energy as a data transmission").
+  const double ack = e.tx_energy(8.0 * 200);
+  const double data = e.tx_energy(8.0 * 828);
+  EXPECT_GT(ack / data, 0.5);
+  // Without overhead the same ratio is just the byte ratio.
+  EnergyModel plain(2, radio());
+  EXPECT_NEAR(plain.tx_energy(8.0 * 200) / plain.tx_energy(8.0 * 828),
+              200.0 / 828.0, 1e-9);
+}
+
+TEST(EnergyModel, OverheadChargedPerTransmission) {
+  RadioConfig r = radio();
+  r.fixed_overhead_s = 0.010;
+  EnergyModel e(2, r);
+  EXPECT_DOUBLE_EQ(e.tx_energy(0.0), 0.075 * 0.010);
+  EXPECT_DOUBLE_EQ(e.rx_energy(0.0), 0.030 * 0.010);
+}
+
+TEST(EnergyModel, RejectsBadConfig) {
+  RadioConfig r = radio();
+  r.datarate_bps = 0;
+  EXPECT_THROW(EnergyModel(2, r), std::invalid_argument);
+  r = radio();
+  r.tx_power_w = -1;
+  EXPECT_THROW(EnergyModel(2, r), std::invalid_argument);
+}
+
+TEST(EnergyModel, OutOfRangeNodeThrows) {
+  EnergyModel e(2, radio());
+  EXPECT_THROW(e.charge_tx(5, 100.0), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace jtp::phy

@@ -1,0 +1,172 @@
+// Tests for the experiment harness: scenarios, workloads, runner, metrics.
+#include <gtest/gtest.h>
+
+#include "exp/runner.h"
+#include "exp/scenario.h"
+#include "exp/workload.h"
+
+namespace jtp::exp {
+namespace {
+
+ScenarioConfig quiet() {
+  ScenarioConfig sc;
+  sc.fading = false;
+  sc.loss_good = 0.0;
+  return sc;
+}
+
+TEST(Scenario, LinearBuildsChain) {
+  auto net = make_linear(6, quiet());
+  EXPECT_EQ(net->size(), 6u);
+  EXPECT_TRUE(net->topology().connected());
+  EXPECT_EQ(net->routing().hops(0, 5), 5);
+}
+
+TEST(Scenario, RandomIsConnectedAndSeedStable) {
+  auto sc = quiet();
+  sc.seed = 77;
+  auto a = make_random(12, sc);
+  auto b = make_random(12, sc);
+  EXPECT_TRUE(a->topology().connected());
+  for (core::NodeId i = 0; i < 12; ++i) {
+    EXPECT_DOUBLE_EQ(a->topology().position(i).x,
+                     b->topology().position(i).x);
+    EXPECT_DOUBLE_EQ(a->topology().position(i).y,
+                     b->topology().position(i).y);
+  }
+}
+
+TEST(Scenario, FieldSideGrowsWithNodes) {
+  EXPECT_GT(random_field_side_m(25), random_field_side_m(10));
+}
+
+TEST(Scenario, TestbedIs14NodesStableLinks) {
+  auto net = make_testbed(quiet());
+  EXPECT_EQ(net->size(), 14u);
+  EXPECT_FALSE(net->channel().config().fading_enabled);
+}
+
+TEST(Scenario, JncDisablesCaching) {
+  auto sc = quiet();
+  sc.proto = Proto::kJnc;
+  const auto cfg = make_network_config(sc);
+  EXPECT_FALSE(cfg.node.ijtp.caching_enabled);
+  sc.proto = Proto::kJtp;
+  EXPECT_TRUE(make_network_config(sc).node.ijtp.caching_enabled);
+}
+
+TEST(FlowManager, RejectsJncOnCachingNetwork) {
+  auto net = make_linear(3, quiet());  // caching enabled
+  EXPECT_THROW(FlowManager(*net, Proto::kJnc), std::invalid_argument);
+}
+
+TEST(FlowManager, ProtoNames) {
+  EXPECT_EQ(proto_name(Proto::kJtp), "jtp");
+  EXPECT_EQ(proto_name(Proto::kJnc), "jnc");
+  EXPECT_EQ(proto_name(Proto::kTcp), "tcp");
+  EXPECT_EQ(proto_name(Proto::kAtp), "atp");
+}
+
+TEST(FlowManager, CompletionTimeRecorded) {
+  auto net = make_linear(3, quiet());
+  FlowManager fm(*net, Proto::kJtp);
+  auto& flow = fm.create(0, 2, 20);
+  net->run_until(500.0);
+  ASSERT_TRUE(flow.finished());
+  EXPECT_GT(flow.completed_at, 0.0);
+  EXPECT_LT(flow.completed_at, 500.0);
+}
+
+TEST(FlowManager, GoodputUsesCompletionTime) {
+  auto net = make_linear(3, quiet());
+  FlowManager fm(*net, Proto::kJtp);
+  auto& flow = fm.create(0, 2, 20);
+  net->run_until(10000.0);  // long horizon must not dilute goodput
+  ASSERT_TRUE(flow.finished());
+  const auto m = fm.collect(10000.0);
+  const double expect_kbps =
+      flow.delivered_bits() / flow.completed_at / 1e3;
+  EXPECT_NEAR(m.per_flow_goodput_kbps_mean, expect_kbps, 1e-9);
+}
+
+TEST(FlowManager, DelayedStartHonored) {
+  auto net = make_linear(3, quiet());
+  FlowManager fm(*net, Proto::kJtp);
+  auto& flow = fm.create(0, 2, 0, /*start_delay_s=*/100.0);
+  net->run_until(50.0);
+  EXPECT_EQ(flow.data_sent(), 0u);
+  net->run_until(200.0);
+  EXPECT_GT(flow.data_sent(), 0u);
+}
+
+TEST(Runner, RunSeedsUsesDistinctSeeds) {
+  std::vector<std::uint64_t> seen;
+  run_seeds(4, 10, [&](std::uint64_t s) {
+    seen.push_back(s);
+    return RunMetrics{};
+  });
+  ASSERT_EQ(seen.size(), 4u);
+  for (std::size_t i = 1; i < seen.size(); ++i)
+    EXPECT_NE(seen[i], seen[i - 1]);
+}
+
+TEST(Runner, AggregateMeanAndCi) {
+  std::vector<RunMetrics> runs(4);
+  for (std::size_t i = 0; i < 4; ++i) runs[i].total_energy_j = 1.0 + i;
+  const auto a = aggregate(
+      runs, [](const RunMetrics& m) { return m.total_energy_j; });
+  EXPECT_DOUBLE_EQ(a.mean, 2.5);
+  EXPECT_GT(a.ci95, 0.0);
+  EXPECT_EQ(a.runs, 4u);
+}
+
+TEST(Metrics, EnergyPerBitGuardsZeroDelivery) {
+  RunMetrics m;
+  m.total_energy_j = 5.0;
+  EXPECT_DOUBLE_EQ(m.energy_per_bit_uj(), 0.0);
+  m.delivered_payload_bits = 1e6;
+  EXPECT_DOUBLE_EQ(m.energy_per_bit_uj(), 5.0);
+  EXPECT_DOUBLE_EQ(m.energy_per_bit_mj(), 5e-3);
+  EXPECT_DOUBLE_EQ(m.delivered_kbit(), 1e3);
+}
+
+TEST(Runner, FormatHelpers) {
+  EXPECT_EQ(fmt(1.23456, 2), "1.23");
+  Aggregate a{2.5, 0.5, 3};
+  const auto s = with_ci(a, 1);
+  EXPECT_NE(s.find("2.5"), std::string::npos);
+  EXPECT_NE(s.find("0.5"), std::string::npos);
+}
+
+// Property: the same seed gives bit-identical metrics for every protocol
+// (the paper's "same conditions in the same run" requirement).
+class DeterminismTest : public ::testing::TestWithParam<Proto> {};
+
+TEST_P(DeterminismTest, SameSeedSameMetrics) {
+  const Proto proto = GetParam();
+  auto run = [&] {
+    auto sc = quiet();
+    sc.seed = 123;
+    sc.proto = proto;
+    sc.fading = true;
+    sc.loss_good = 0.05;
+    auto net = make_linear(4, sc);
+    FlowManager fm(*net, proto);
+    fm.create(0, 3, 0);
+    net->run_until(400.0);
+    return fm.collect(400.0);
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_DOUBLE_EQ(a.total_energy_j, b.total_energy_j);
+  EXPECT_EQ(a.delivered_packets, b.delivered_packets);
+  EXPECT_EQ(a.acks_sent, b.acks_sent);
+  EXPECT_EQ(a.transmissions, b.transmissions);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProtos, DeterminismTest,
+                         ::testing::Values(Proto::kJtp, Proto::kTcp,
+                                           Proto::kAtp));
+
+}  // namespace
+}  // namespace jtp::exp

@@ -1,0 +1,128 @@
+// Tests for the application module: fragmentation & reassembly (§2.2.1).
+#include "core/fragmentation.h"
+
+#include <gtest/gtest.h>
+
+namespace jtp::core {
+namespace {
+
+TEST(Fragmenter, RejectsTooSmallPayload) {
+  EXPECT_THROW(Fragmenter{kFragMetaBytes}, std::invalid_argument);
+  EXPECT_NO_THROW(Fragmenter{kFragMetaBytes + 1});
+}
+
+TEST(Fragmenter, SingleFragmentForSmallMessage) {
+  Fragmenter f(800);
+  const auto frags = f.fragment(1, 100);
+  ASSERT_EQ(frags.size(), 1u);
+  EXPECT_EQ(frags[0].payload_bytes, 100u);
+  EXPECT_EQ(frags[0].count, 1u);
+}
+
+TEST(Fragmenter, SplitsLargeMessage) {
+  Fragmenter f(800);  // 784 app bytes per fragment
+  const auto frags = f.fragment(1, 784 * 3 + 10);
+  ASSERT_EQ(frags.size(), 4u);
+  EXPECT_EQ(frags[3].payload_bytes, 10u);
+  std::uint64_t total = 0;
+  for (const auto& fr : frags) {
+    total += fr.payload_bytes;
+    EXPECT_EQ(fr.count, 4u);
+  }
+  EXPECT_EQ(total, 784u * 3 + 10);
+}
+
+TEST(Fragmenter, ExactMultipleHasNoRunt) {
+  Fragmenter f(800);
+  const auto frags = f.fragment(1, 784 * 2);
+  ASSERT_EQ(frags.size(), 2u);
+  EXPECT_EQ(frags[1].payload_bytes, 784u);
+}
+
+TEST(Fragmenter, RejectsEmptyMessage) {
+  Fragmenter f(800);
+  EXPECT_THROW(f.fragment(1, 0), std::invalid_argument);
+}
+
+TEST(Reassembler, CompletesInOrder) {
+  Fragmenter f(800);
+  Reassembler r;
+  const auto frags = f.fragment(42, 2000);
+  std::optional<Reassembler::Completed> done;
+  for (const auto& fr : frags) done = r.add(fr);
+  ASSERT_TRUE(done.has_value());
+  EXPECT_EQ(done->message_id, 42u);
+  EXPECT_EQ(done->bytes_received, 2000u);
+  EXPECT_EQ(done->fragments_waived, 0u);
+  EXPECT_EQ(r.messages_completed(), 1u);
+}
+
+TEST(Reassembler, CompletesOutOfOrder) {
+  Fragmenter f(100);
+  Reassembler r;
+  auto frags = f.fragment(1, 500);
+  ASSERT_GE(frags.size(), 3u);
+  std::optional<Reassembler::Completed> done;
+  for (auto it = frags.rbegin(); it != frags.rend(); ++it) done = r.add(*it);
+  EXPECT_TRUE(done.has_value());
+}
+
+TEST(Reassembler, DuplicateFragmentIgnored) {
+  Fragmenter f(100);
+  Reassembler r;
+  const auto frags = f.fragment(1, 200);
+  r.add(frags[0]);
+  EXPECT_FALSE(r.add(frags[0]).has_value());
+  EXPECT_EQ(r.messages_in_progress(), 1u);
+}
+
+TEST(Reassembler, WaivedFragmentCompletesMessage) {
+  Fragmenter f(100);
+  Reassembler r;
+  const auto frags = f.fragment(1, 250);
+  ASSERT_EQ(frags.size(), 3u);
+  r.add(frags[0]);
+  r.add(frags[2]);
+  const auto done = r.waive(1, frags[1].index, frags[1].count);
+  ASSERT_TRUE(done.has_value());
+  EXPECT_EQ(done->fragments_received, 2u);
+  EXPECT_EQ(done->fragments_waived, 1u);
+}
+
+TEST(Reassembler, WaiveBeforeArrivalAlsoWorks) {
+  Reassembler r;
+  EXPECT_FALSE(r.waive(5, 0, 2).has_value());
+  Fragment f2{5, 1, 2, 84};
+  const auto done = r.add(f2);
+  ASSERT_TRUE(done.has_value());
+  EXPECT_EQ(done->fragments_waived, 1u);
+}
+
+TEST(Reassembler, InterleavedMessages) {
+  Fragmenter f(100);
+  Reassembler r;
+  const auto a = f.fragment(1, 160);
+  const auto b = f.fragment(2, 160);
+  r.add(a[0]);
+  r.add(b[0]);
+  EXPECT_EQ(r.messages_in_progress(), 2u);
+  EXPECT_TRUE(r.add(b[1]).has_value());
+  EXPECT_TRUE(r.add(a[1]).has_value());
+  EXPECT_EQ(r.messages_in_progress(), 0u);
+}
+
+TEST(Reassembler, MalformedInputsThrow) {
+  Reassembler r;
+  Fragment bad{1, 2, 2, 10};  // index >= count
+  EXPECT_THROW(r.add(bad), std::invalid_argument);
+  EXPECT_THROW(r.waive(1, 0, 0), std::invalid_argument);
+}
+
+TEST(Reassembler, CountMismatchThrows) {
+  Reassembler r;
+  r.add(Fragment{1, 0, 3, 10});
+  EXPECT_THROW(r.add(Fragment{1, 1, 4, 10}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace jtp::core

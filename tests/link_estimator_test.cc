@@ -1,0 +1,129 @@
+#include "mac/link_estimator.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/random.h"
+
+namespace jtp::mac {
+namespace {
+
+LinkEstimatorConfig cfg() {
+  LinkEstimatorConfig c;
+  c.loss_alpha = 0.1;
+  c.attempts_alpha = 0.1;
+  c.initial_loss = 0.1;
+  c.utilization_window_s = 10.0;
+  c.node_capacity_pps = 2.0;
+  return c;
+}
+
+TEST(LinkEstimator, PriorLossBeforeSamples) {
+  LinkEstimator e(cfg());
+  EXPECT_DOUBLE_EQ(e.loss_rate(3), 0.1);
+}
+
+TEST(LinkEstimator, FirstSampleBlendsWithPrior) {
+  LinkEstimator e(cfg());
+  e.record_attempt(3, /*lost=*/true);
+  EXPECT_DOUBLE_EQ(e.loss_rate(3), 0.55);  // (0.1 + 1.0)/2
+  LinkEstimator e2(cfg());
+  e2.record_attempt(3, /*lost=*/false);
+  EXPECT_DOUBLE_EQ(e2.loss_rate(3), 0.05);
+}
+
+TEST(LinkEstimator, LossConvergesToTrueRate) {
+  LinkEstimator e(cfg());
+  sim::Rng rng(5);
+  // EWMA over Bernoulli(0.3) samples: expectation 0.3, stddev of the
+  // estimate ~ sqrt(alpha/(2-alpha))·sigma ≈ 0.10 at alpha=0.1; average a
+  // few independent readings to tighten the check.
+  double sum = 0.0;
+  int readings = 0;
+  for (int i = 0; i < 5000; ++i) {
+    e.record_attempt(1, rng.bernoulli(0.3));
+    if (i >= 1000 && i % 100 == 0) {
+      sum += e.loss_rate(1);
+      ++readings;
+    }
+  }
+  EXPECT_NEAR(sum / readings, 0.3, 0.05);
+}
+
+TEST(LinkEstimator, LinksTrackedIndependently) {
+  LinkEstimator e(cfg());
+  for (int i = 0; i < 500; ++i) {
+    e.record_attempt(1, true);
+    e.record_attempt(2, false);
+  }
+  EXPECT_GT(e.loss_rate(1), 0.9);
+  EXPECT_LT(e.loss_rate(2), 0.1);
+}
+
+TEST(LinkEstimator, AttemptsDefaultIsOne) {
+  LinkEstimator e(cfg());
+  EXPECT_DOUBLE_EQ(e.avg_attempts(1), 1.0);
+}
+
+TEST(LinkEstimator, AttemptsEwmaTracks) {
+  LinkEstimator e(cfg());
+  for (int i = 0; i < 500; ++i) e.record_packet(1, 3);
+  EXPECT_NEAR(e.avg_attempts(1), 3.0, 0.01);
+}
+
+TEST(LinkEstimator, RecordPacketRejectsZero) {
+  LinkEstimator e(cfg());
+  EXPECT_THROW(e.record_packet(1, 0), std::invalid_argument);
+}
+
+TEST(LinkEstimator, IdleNodeHasFullAvailableRate) {
+  LinkEstimator e(cfg());
+  EXPECT_DOUBLE_EQ(e.available_rate_pps(100.0), 2.0);
+  EXPECT_DOUBLE_EQ(e.utilization(100.0), 0.0);
+}
+
+TEST(LinkEstimator, SaturatedNodeHasZeroAvailableRate) {
+  LinkEstimator e(cfg());
+  // capacity 2 pps over a 10 s window = 20 owned slots; use all of them.
+  for (int i = 0; i < 20; ++i) e.record_slot_used(90.0 + i * 0.5);
+  EXPECT_NEAR(e.utilization(100.0), 1.0, 1e-9);
+  EXPECT_NEAR(e.available_rate_pps(100.0), 0.0, 1e-9);
+}
+
+TEST(LinkEstimator, HalfLoadHalfAvailable) {
+  LinkEstimator e(cfg());
+  for (int i = 0; i < 10; ++i) e.record_slot_used(90.0 + i);
+  EXPECT_NEAR(e.utilization(100.0), 0.5, 1e-9);
+  EXPECT_NEAR(e.available_rate_pps(100.0), 1.0, 1e-9);
+}
+
+TEST(LinkEstimator, OldUsageAgesOut) {
+  LinkEstimator e(cfg());
+  for (int i = 0; i < 20; ++i) e.record_slot_used(i * 0.5);  // all in [0,10)
+  EXPECT_GT(e.utilization(10.0), 0.9);
+  EXPECT_NEAR(e.utilization(25.0), 0.0, 1e-9);  // window slid past
+}
+
+TEST(LinkEstimator, ViewBundlesAllThree) {
+  LinkEstimator e(cfg());
+  for (int i = 0; i < 100; ++i) {
+    e.record_attempt(4, i % 2 == 0);
+    e.record_packet(4, 2);
+  }
+  e.record_slot_used(99.0);
+  const auto v = e.view(4, 100.0);
+  EXPECT_NEAR(v.loss_rate, 0.5, 0.15);
+  EXPECT_NEAR(v.avg_attempts, 2.0, 0.1);
+  EXPECT_LT(v.available_rate_pps, 2.0);
+}
+
+TEST(LinkEstimator, RejectsBadConfig) {
+  auto c = cfg();
+  c.loss_alpha = 0.0;
+  EXPECT_THROW(LinkEstimator{c}, std::invalid_argument);
+  c = cfg();
+  c.utilization_window_s = 0.0;
+  EXPECT_THROW(LinkEstimator{c}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace jtp::mac

@@ -1,0 +1,105 @@
+#include "phy/mobility.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/random.h"
+#include "sim/simulator.h"
+
+namespace jtp::phy {
+namespace {
+
+MobilityConfig cfg(double speed = 1.0) {
+  MobilityConfig c;
+  c.speed_mps = speed;
+  c.mean_leg_m = 47.0;
+  c.mean_pause_s = 20.0;  // shorter than the paper's 100 s to speed tests
+  c.field_m = 200.0;
+  c.update_interval_s = 1.0;
+  return c;
+}
+
+Topology square(std::size_t n) {
+  Topology t(n, 40.0);
+  for (core::NodeId i = 0; i < n; ++i)
+    t.set_position(i, {50.0 + 10.0 * i, 100.0});
+  return t;
+}
+
+TEST(RandomWaypoint, NodesStayInField) {
+  sim::Simulator sim;
+  auto topo = square(5);
+  RandomWaypoint rwp(sim, topo, cfg(5.0), sim::Rng(1));
+  rwp.start();
+  bool ok = true;
+  rwp.set_on_move([&] {
+    for (core::NodeId i = 0; i < topo.size(); ++i) {
+      const auto& p = topo.position(i);
+      if (p.x < 0 || p.x > 200.0 || p.y < 0 || p.y > 200.0) ok = false;
+    }
+  });
+  sim.run_until(500.0);
+  EXPECT_TRUE(ok);
+}
+
+TEST(RandomWaypoint, NodesActuallyMove) {
+  sim::Simulator sim;
+  auto topo = square(3);
+  const auto before = topo.position(0);
+  RandomWaypoint rwp(sim, topo, cfg(1.0), sim::Rng(2));
+  rwp.start();
+  sim.run_until(300.0);
+  const auto after = topo.position(0);
+  EXPECT_GT(distance(before, after), 0.0);
+}
+
+TEST(RandomWaypoint, SpeedBoundsDisplacementPerUpdate) {
+  sim::Simulator sim;
+  auto topo = square(2);
+  auto c = cfg(2.0);
+  RandomWaypoint rwp(sim, topo, c, sim::Rng(3));
+  Position last = topo.position(0);
+  double max_step = 0.0;
+  rwp.set_on_move([&] {
+    const auto cur = topo.position(0);
+    max_step = std::max(max_step, distance(last, cur));
+    last = cur;
+  });
+  rwp.start();
+  sim.run_until(400.0);
+  // One update covers at most speed × interval.
+  EXPECT_LE(max_step, 2.0 * c.update_interval_s + 1e-9);
+}
+
+TEST(RandomWaypoint, FasterNodesTravelFarther) {
+  auto run_total = [](double speed) {
+    sim::Simulator sim;
+    auto topo = square(2);
+    RandomWaypoint rwp(sim, topo, cfg(speed), sim::Rng(4));
+    double total = 0.0;
+    Position last = topo.position(0);
+    rwp.set_on_move([&] {
+      total += distance(last, topo.position(0));
+      last = topo.position(0);
+    });
+    rwp.start();
+    sim.run_until(400.0);
+    return total;
+  };
+  EXPECT_GT(run_total(5.0), run_total(0.1) * 2.0);
+}
+
+TEST(RandomWaypoint, RejectsBadConfig) {
+  sim::Simulator sim;
+  auto topo = square(2);
+  auto c = cfg();
+  c.speed_mps = 0.0;
+  EXPECT_THROW(RandomWaypoint(sim, topo, c, sim::Rng(1)),
+               std::invalid_argument);
+  c = cfg();
+  c.update_interval_s = 0.0;
+  EXPECT_THROW(RandomWaypoint(sim, topo, c, sim::Rng(1)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace jtp::phy

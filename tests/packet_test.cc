@@ -1,0 +1,93 @@
+// Tests for packet formats, header sizes, and the CSV trace writer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "core/packet.h"
+#include "sim/trace.h"
+
+namespace jtp::core {
+namespace {
+
+TEST(Packet, DefaultIsDataWithPrototypeHeaderSizes) {
+  Packet p;
+  EXPECT_TRUE(p.is_data());
+  EXPECT_EQ(p.header_bytes(), kDataHeaderBytes);   // 28 B (§6.1)
+  EXPECT_EQ(p.size_bytes(), kDataHeaderBytes + kDefaultPayloadBytes);
+  EXPECT_DOUBLE_EQ(p.size_bits(), 8.0 * (28 + 800));
+}
+
+TEST(Packet, AckUses200ByteHeader) {
+  Packet p;
+  p.type = PacketType::kAck;
+  p.payload_bytes = 0;
+  EXPECT_TRUE(p.is_ack());
+  EXPECT_EQ(p.header_bytes(), kAckHeaderBytes);  // 200 B (§6.1)
+  EXPECT_EQ(p.size_bytes(), 200u);
+}
+
+TEST(Packet, HeaderOverrideForBaselines) {
+  Packet p;
+  p.header_override_bytes = 40;  // TCP data header
+  EXPECT_EQ(p.header_bytes(), 40u);
+  p.type = PacketType::kAck;
+  p.header_override_bytes = 60;
+  EXPECT_EQ(p.header_bytes(), 60u);
+}
+
+TEST(Packet, AvailableRateStartsUnstamped) {
+  Packet p;
+  EXPECT_TRUE(std::isinf(p.available_rate_pps));
+}
+
+TEST(Packet, SnackEmptiness) {
+  Snack s;
+  EXPECT_TRUE(s.empty());
+  s.missing.push_back(3);
+  EXPECT_FALSE(s.empty());
+  s.missing.clear();
+  s.locally_recovered.push_back(4);
+  EXPECT_FALSE(s.empty());
+}
+
+TEST(Bits, ConvertsBytes) {
+  EXPECT_DOUBLE_EQ(bits(100), 800.0);
+  EXPECT_DOUBLE_EQ(bits(0), 0.0);
+}
+
+}  // namespace
+}  // namespace jtp::core
+
+namespace jtp::sim {
+namespace {
+
+TEST(CsvWriter, WritesHeaderAndRows) {
+  const std::string path = "/tmp/jtp_csv_test.csv";
+  {
+    CsvWriter w(path, {"a", "b", "c"});
+    w.row({1.0, 2.5, 3.0});
+    w.row(std::vector<std::string>{"x", "y", "z"});
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b,c");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,2.5,3");
+  std::getline(in, line);
+  EXPECT_EQ(line, "x,y,z");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriter, RejectsColumnMismatch) {
+  const std::string path = "/tmp/jtp_csv_test2.csv";
+  CsvWriter w(path, {"a", "b"});
+  EXPECT_THROW(w.row({1.0}), std::invalid_argument);
+  EXPECT_THROW(w.row({1.0, 2.0, 3.0}), std::invalid_argument);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace jtp::sim

@@ -1,0 +1,158 @@
+// Tests for the flip-flop path monitor (paper §5.1, eqs. 7-8).
+#include "core/path_monitor.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/random.h"
+
+namespace jtp::core {
+namespace {
+
+TEST(PathMonitor, FirstSampleInitializesPerPaper) {
+  PathMonitor m;
+  m.add(10.0);
+  EXPECT_TRUE(m.initialized());
+  EXPECT_DOUBLE_EQ(m.mean(), 10.0);      // x̄ = x0
+  EXPECT_DOUBLE_EQ(m.range(), 5.0);      // R̄ = x0/2
+}
+
+TEST(PathMonitor, ControlLimitsUseD2Constant) {
+  PathMonitor m;
+  m.add(10.0);
+  EXPECT_NEAR(m.ucl(), 10.0 + 3.0 * 5.0 / 1.128, 1e-9);
+  EXPECT_NEAR(m.lcl(), 10.0 - 3.0 * 5.0 / 1.128, 1e-9);
+}
+
+TEST(PathMonitor, StableSamplesNoTrigger) {
+  PathMonitor m;
+  for (int i = 0; i < 100; ++i) {
+    const auto obs = m.add(10.0 + 0.1 * ((i % 3) - 1));
+    EXPECT_FALSE(obs.trigger);
+    EXPECT_FALSE(obs.agile);
+  }
+  EXPECT_EQ(m.triggers(), 0u);
+}
+
+TEST(PathMonitor, PersistentShiftTriggersAfterRun) {
+  PathMonitorConfig cfg;
+  cfg.outlier_run_to_trigger = 3;
+  PathMonitor m(cfg);
+  for (int i = 0; i < 50; ++i) m.add(10.0);
+  // Range collapses toward 0 => tight control limits; a big jump is an
+  // outlier. Two outliers: no trigger; third: trigger.
+  EXPECT_TRUE(m.add(100.0).outlier);
+  EXPECT_FALSE(m.triggers());
+  m.add(100.0);
+  const auto obs = m.add(100.0);
+  EXPECT_TRUE(obs.trigger);
+  EXPECT_TRUE(obs.agile);
+  EXPECT_EQ(m.triggers(), 1u);
+}
+
+TEST(PathMonitor, AgileFilterCatchesUpFaster) {
+  PathMonitorConfig cfg;
+  cfg.alpha_stable = 0.1;
+  cfg.alpha_agile = 0.6;
+  cfg.outlier_run_to_trigger = 2;
+  PathMonitor m(cfg);
+  for (int i = 0; i < 50; ++i) m.add(10.0);
+  // Shift the level; after the trigger, the mean should converge to the
+  // new level quickly.
+  for (int i = 0; i < 8; ++i) m.add(50.0);
+  EXPECT_GT(m.mean(), 35.0);
+}
+
+TEST(PathMonitor, FlopsBackToStableInsideLimits) {
+  PathMonitorConfig cfg;
+  cfg.outlier_run_to_trigger = 2;
+  PathMonitor m(cfg);
+  for (int i = 0; i < 30; ++i) m.add(10.0);
+  for (int i = 0; i < 10; ++i) m.add(60.0);  // trigger + agile catch-up
+  EXPECT_TRUE(m.triggers() >= 1);
+  // Now feed samples near the new mean: filter should flop back to stable.
+  bool stable_again = false;
+  for (int i = 0; i < 20; ++i) {
+    const auto obs = m.add(60.0);
+    if (!obs.agile) stable_again = true;
+  }
+  EXPECT_TRUE(stable_again);
+}
+
+TEST(PathMonitor, IsolatedSpikeDoesNotTrigger) {
+  PathMonitorConfig cfg;
+  cfg.outlier_run_to_trigger = 3;
+  PathMonitor m(cfg);
+  for (int i = 0; i < 50; ++i) m.add(10.0);
+  m.add(100.0);  // one spike
+  for (int i = 0; i < 20; ++i) {
+    const auto obs = m.add(10.0);
+    EXPECT_FALSE(obs.trigger);
+  }
+  EXPECT_EQ(m.triggers(), 0u);
+}
+
+TEST(PathMonitor, RangeIgnoresOutliers) {
+  PathMonitor m;
+  for (int i = 0; i < 50; ++i) m.add(10.0);
+  const double range_before = m.range();
+  m.add(1000.0);  // single outlier must not widen the band
+  EXPECT_DOUBLE_EQ(m.range(), range_before);
+}
+
+TEST(PathMonitor, ResetClearsState) {
+  PathMonitor m;
+  m.add(5.0);
+  m.reset();
+  EXPECT_FALSE(m.initialized());
+  EXPECT_EQ(m.samples(), 0u);
+}
+
+TEST(PathMonitor, RejectsBadConfig) {
+  PathMonitorConfig bad;
+  bad.alpha_stable = 0.0;
+  EXPECT_THROW(PathMonitor{bad}, std::invalid_argument);
+  PathMonitorConfig bad2;
+  bad2.outlier_run_to_trigger = 0;
+  EXPECT_THROW(PathMonitor{bad2}, std::invalid_argument);
+}
+
+// Property sweep: with noisy-but-stationary input, trigger rate stays low;
+// with a level shift larger than the noise, a trigger happens quickly.
+class MonitorNoiseTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(MonitorNoiseTest, StationaryNoiseRarelyTriggers) {
+  const double noise = GetParam();
+  sim::Rng rng(99);
+  PathMonitor m;
+  for (int i = 0; i < 2000; ++i)
+    m.add(50.0 + rng.normal(0.0, noise));
+  // Allow a small false-trigger budget (well under 1% of samples).
+  EXPECT_LE(m.triggers(), 10u) << "noise=" << noise;
+}
+
+TEST_P(MonitorNoiseTest, LevelShiftTriggersPromptly) {
+  const double noise = GetParam();
+  sim::Rng rng(7);
+  PathMonitorConfig cfg;
+  cfg.outlier_run_to_trigger = 3;
+  PathMonitor m(cfg);
+  for (int i = 0; i < 500; ++i) m.add(50.0 + rng.normal(0.0, noise));
+  const auto before = m.triggers();
+  int steps_to_trigger = -1;
+  for (int i = 0; i < 100; ++i) {
+    const auto obs = m.add(50.0 + 20.0 * noise + 30.0 + rng.normal(0.0, noise));
+    if (obs.trigger) {
+      steps_to_trigger = i;
+      break;
+    }
+  }
+  EXPECT_GE(m.triggers(), before);
+  ASSERT_NE(steps_to_trigger, -1) << "shift never detected, noise=" << noise;
+  EXPECT_LE(steps_to_trigger, 20);
+}
+
+INSTANTIATE_TEST_SUITE_P(NoiseSweep, MonitorNoiseTest,
+                         ::testing::Values(0.1, 0.5, 1.0, 2.0));
+
+}  // namespace
+}  // namespace jtp::core

@@ -1,0 +1,125 @@
+#include "sim/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace jtp::sim {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.uniform() == b.uniform()) ++same;
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, DeriveIsDeterministic) {
+  Rng a(7), b(7);
+  Rng da = a.derive("mac", 3);
+  Rng db = b.derive("mac", 3);
+  for (int i = 0; i < 50; ++i) EXPECT_DOUBLE_EQ(da.uniform(), db.uniform());
+}
+
+TEST(Rng, DerivedStreamsAreIndependentOfConsumption) {
+  // Consuming from the parent must not perturb an already-derived child.
+  Rng a(7);
+  Rng child1 = a.derive("x");
+  const double first = child1.uniform();
+  Rng b(7);
+  for (int i = 0; i < 10; ++i) b.uniform();
+  Rng child2 = b.derive("x");
+  EXPECT_DOUBLE_EQ(child2.uniform(), first);
+}
+
+TEST(Rng, DifferentLabelsGiveDifferentStreams) {
+  Rng a(7);
+  Rng x = a.derive("x");
+  Rng y = a.derive("y");
+  EXPECT_NE(x.uniform(), y.uniform());
+}
+
+TEST(Rng, UniformInRange) {
+  Rng r(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = r.uniform(2.0, 5.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng r(11);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += r.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, ExponentialMeanMatches) {
+  Rng r(13);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(3.0);
+  EXPECT_NEAR(sum / n, 3.0, 0.15);
+}
+
+TEST(Rng, ExponentialRejectsBadMean) {
+  Rng r(1);
+  EXPECT_THROW(r.exponential(0.0), std::invalid_argument);
+  EXPECT_THROW(r.exponential(-1.0), std::invalid_argument);
+}
+
+TEST(Rng, GeometricMeanMatches) {
+  Rng r(17);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += r.geometric(0.25);
+  EXPECT_NEAR(sum / n, 4.0, 0.2);  // mean 1/p
+}
+
+TEST(Rng, GeometricAlwaysAtLeastOne) {
+  Rng r(19);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(r.geometric(0.9), 1);
+}
+
+TEST(Rng, IntegerBounded) {
+  Rng r(23);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.integer(10), 10u);
+  EXPECT_THROW(r.integer(0), std::invalid_argument);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng r(29);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i)
+    if (r.bernoulli(0.3)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Splitmix, AvalanchesAdjacentInputs) {
+  // Hamming distance of outputs for adjacent inputs should be near 32.
+  int total = 0;
+  for (std::uint64_t x = 0; x < 100; ++x) {
+    const std::uint64_t d = splitmix64(x) ^ splitmix64(x + 1);
+    total += static_cast<int>(__builtin_popcountll(d));
+  }
+  EXPECT_NEAR(total / 100.0, 32.0, 6.0);
+}
+
+TEST(HashLabel, DistinctLabelsDistinctHashes) {
+  EXPECT_NE(hash_label("alpha"), hash_label("beta"));
+  EXPECT_NE(hash_label(""), hash_label("a"));
+  EXPECT_EQ(hash_label("mac"), hash_label("mac"));
+}
+
+}  // namespace
+}  // namespace jtp::sim

@@ -1,0 +1,159 @@
+// Tests for the adjustable-reliability math (paper §3, eqs. 1-4).
+#include "core/reliability.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+namespace jtp::core {
+namespace {
+
+TEST(PerLinkTarget, FullReliabilityNeedsPerfectLinks) {
+  EXPECT_DOUBLE_EQ(per_link_success_target(0.0, 4), 1.0);
+}
+
+TEST(PerLinkTarget, SingleHopEqualsTolerance) {
+  EXPECT_DOUBLE_EQ(per_link_success_target(0.1, 1), 0.9);
+}
+
+TEST(PerLinkTarget, EqualSplitAcrossHops) {
+  // q^H = 1 - lt must hold exactly (eq. 4 inverts eq. 1).
+  const double q = per_link_success_target(0.2, 5);
+  EXPECT_NEAR(std::pow(q, 5), 0.8, 1e-12);
+}
+
+TEST(PerLinkTarget, MoreHopsNeedHigherQ) {
+  EXPECT_GT(per_link_success_target(0.1, 8),
+            per_link_success_target(0.1, 2));
+}
+
+TEST(PerLinkTarget, RejectsZeroHops) {
+  EXPECT_THROW(per_link_success_target(0.1, 0), std::invalid_argument);
+}
+
+TEST(PerLinkTarget, ClampsOutOfRangeTolerance) {
+  EXPECT_DOUBLE_EQ(per_link_success_target(-0.5, 3), 1.0);
+  EXPECT_DOUBLE_EQ(per_link_success_target(1.5, 3), 0.0);
+}
+
+TEST(AttemptBudget, LosslessLinkNeedsOneAttempt) {
+  EXPECT_EQ(attempt_budget(0.99, 0.0, 5), 1);
+}
+
+TEST(AttemptBudget, FullReliabilitySpendsCap) {
+  EXPECT_EQ(attempt_budget(1.0, 0.3, 5), 5);
+}
+
+TEST(AttemptBudget, MatchesClosedForm) {
+  // q = 0.99, p = 0.1: M = log(0.01)/log(0.1) = 2.
+  EXPECT_EQ(attempt_budget(0.99, 0.1, 5), 2);
+  // q = 0.999, p = 0.1: M = 3.
+  EXPECT_EQ(attempt_budget(0.999, 0.1, 5), 3);
+}
+
+TEST(AttemptBudget, CapsAtMaxAttempts) {
+  EXPECT_EQ(attempt_budget(0.999999, 0.5, 5), 5);
+}
+
+TEST(AttemptBudget, AtLeastOne) {
+  EXPECT_EQ(attempt_budget(0.1, 0.9, 5), 1);
+}
+
+TEST(AttemptBudget, RejectsBadCap) {
+  EXPECT_THROW(attempt_budget(0.9, 0.1, 0), std::invalid_argument);
+}
+
+TEST(AchievedSuccess, OneMinusPtoM) {
+  EXPECT_DOUBLE_EQ(achieved_link_success(0.1, 2), 1.0 - 0.01);
+  EXPECT_DOUBLE_EQ(achieved_link_success(0.5, 3), 1.0 - 0.125);
+  EXPECT_DOUBLE_EQ(achieved_link_success(0.0, 1), 1.0);
+}
+
+TEST(AchievedSuccess, BudgetAchievesTarget) {
+  // The computed budget must meet or exceed the requested q.
+  for (double q : {0.5, 0.9, 0.95, 0.99}) {
+    for (double p : {0.05, 0.1, 0.3, 0.5}) {
+      const int m = attempt_budget(q, p, 50);
+      EXPECT_GE(achieved_link_success(p, m) + 1e-12, q)
+          << "q=" << q << " p=" << p << " M=" << m;
+    }
+  }
+}
+
+TEST(UpdateLossTolerance, ExactAchievementKeepsBudgetConsistent) {
+  // If the link achieves exactly the per-link target, the remaining
+  // tolerance must satisfy (1-lt') = (1-lt)/q.
+  const double lt = 0.2;
+  const double q = per_link_success_target(lt, 4);
+  const double lt2 = update_loss_tolerance(lt, q);
+  EXPECT_NEAR(1.0 - lt2, (1.0 - lt) / q, 1e-12);
+}
+
+TEST(UpdateLossTolerance, PerfectLinkLeavesBudgetUntouched) {
+  // q = 1: the link spent none of the loss budget (eq. 3 with q=1).
+  EXPECT_NEAR(update_loss_tolerance(0.05, 1.0), 0.05, 1e-12);
+}
+
+TEST(UpdateLossTolerance, SevereUnderachievementClampsToZero) {
+  // The link achieved less than the entire remaining end-to-end budget
+  // (q < 1 - lt): raw eq. 3 goes negative; downstream owes full
+  // reliability, not a negative tolerance.
+  EXPECT_DOUBLE_EQ(update_loss_tolerance(0.05, 0.9), 0.0);
+}
+
+TEST(UpdateLossTolerance, HopelessLinkWaivesRest) {
+  EXPECT_DOUBLE_EQ(update_loss_tolerance(0.3, 0.0), 1.0);
+}
+
+TEST(UpdateLossTolerance, ZeroToleranceStaysZero) {
+  EXPECT_DOUBLE_EQ(update_loss_tolerance(0.0, 0.97), 0.0);
+}
+
+// Property: iterating the per-hop computation down a path of equal-loss
+// links meets the end-to-end target (the heart of §3).
+class PathPropertyTest
+    : public ::testing::TestWithParam<std::tuple<double, double, int>> {};
+
+TEST_P(PathPropertyTest, EndToEndToleranceIsMet) {
+  const auto [le2e, p_link, hops] = GetParam();
+  double lt = le2e;
+  double e2e_success = 1.0;
+  for (int i = 0; i < hops; ++i) {
+    const int remaining = hops - i;
+    const double q_target = per_link_success_target(lt, remaining);
+    const int m = attempt_budget(q_target, p_link, 50);  // generous cap
+    const double q = achieved_link_success(p_link, m);
+    e2e_success *= q;
+    lt = update_loss_tolerance(lt, q);
+  }
+  // Achieved end-to-end loss must be <= requested tolerance.
+  EXPECT_LE(1.0 - e2e_success, le2e + 1e-9)
+      << "le2e=" << le2e << " p=" << p_link << " H=" << hops;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PathPropertyTest,
+    ::testing::Combine(::testing::Values(0.01, 0.05, 0.1, 0.2, 0.3),
+                       ::testing::Values(0.02, 0.1, 0.25, 0.45),
+                       ::testing::Values(1, 2, 4, 7, 10)));
+
+// With the MAC cap (MAX_ATTEMPTS=5), very bad links may not meet the
+// target; the loss-tolerance rewrite must then ask *more* from downstream.
+TEST(UpdateLossTolerance, UnderachievementTightensDownstream) {
+  const double lt = 0.1;
+  const double q_target = per_link_success_target(lt, 4);
+  const double q_badly = q_target - 0.05;  // link fell short
+  const double lt2 = update_loss_tolerance(lt, q_badly);
+  const double lt_exact = update_loss_tolerance(lt, q_target);
+  EXPECT_LT(lt2, lt_exact);
+}
+
+TEST(EndToEndSuccess, PowerLaw) {
+  EXPECT_DOUBLE_EQ(end_to_end_success(0.9, 2), 0.81);
+  EXPECT_DOUBLE_EQ(end_to_end_success(1.0, 10), 1.0);
+  EXPECT_DOUBLE_EQ(end_to_end_success(0.5, 0), 1.0);
+}
+
+}  // namespace
+}  // namespace jtp::core

@@ -1,0 +1,121 @@
+#include "routing/link_state.h"
+
+#include <gtest/gtest.h>
+
+#include "phy/topology.h"
+#include "sim/simulator.h"
+
+namespace jtp::routing {
+namespace {
+
+TEST(LinkStateRouting, LinearChainNextHops) {
+  sim::Simulator sim;
+  auto topo = phy::Topology::linear(5, 30.0, 40.0);
+  LinkStateRouting r(sim, topo);
+  EXPECT_EQ(r.next_hop(0, 4), 1u);
+  EXPECT_EQ(r.next_hop(1, 4), 2u);
+  EXPECT_EQ(r.next_hop(4, 0), 3u);
+  EXPECT_EQ(r.hops(0, 4), 4);
+  EXPECT_EQ(r.hops(2, 4), 2);
+  EXPECT_EQ(r.hops(3, 3), 0);
+}
+
+TEST(LinkStateRouting, PathIsHopByHopConsistent) {
+  sim::Simulator sim;
+  auto topo = phy::Topology::linear(6, 30.0, 40.0);
+  LinkStateRouting r(sim, topo);
+  const auto p = r.path(0, 5);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(*p, (std::vector<core::NodeId>{0, 1, 2, 3, 4, 5}));
+}
+
+TEST(LinkStateRouting, SymmetricRoutesOnChain) {
+  sim::Simulator sim;
+  auto topo = phy::Topology::linear(7, 30.0, 40.0);
+  LinkStateRouting r(sim, topo);
+  auto fwd = r.path(0, 6);
+  auto rev = r.path(6, 0);
+  ASSERT_TRUE(fwd && rev);
+  std::reverse(rev->begin(), rev->end());
+  EXPECT_EQ(*fwd, *rev);
+}
+
+TEST(LinkStateRouting, UnreachableReturnsNullopt) {
+  sim::Simulator sim;
+  phy::Topology topo(3, 40.0);
+  topo.set_position(0, {0, 0});
+  topo.set_position(1, {30, 0});
+  topo.set_position(2, {500, 0});  // isolated
+  LinkStateRouting r(sim, topo);
+  EXPECT_FALSE(r.next_hop(0, 2).has_value());
+  EXPECT_FALSE(r.hops(0, 2).has_value());
+  EXPECT_FALSE(r.path(0, 2).has_value());
+}
+
+TEST(LinkStateRouting, StaleViewUntilRefresh) {
+  sim::Simulator sim;
+  auto topo = phy::Topology::linear(3, 30.0, 40.0);
+  RoutingConfig cfg;
+  cfg.refresh_interval_s = 10.0;
+  LinkStateRouting r(sim, topo, cfg);
+  r.start();
+  EXPECT_EQ(r.hops(0, 2), 2);
+  // Break the chain; the view must not notice until the next refresh.
+  topo.set_position(1, {1000, 0});
+  EXPECT_EQ(r.hops(0, 2), 2);  // stale
+  sim.run_until(10.5);         // refresh fired
+  EXPECT_FALSE(r.hops(0, 2).has_value());
+}
+
+TEST(LinkStateRouting, OracleModeSeesChangesImmediately) {
+  sim::Simulator sim;
+  auto topo = phy::Topology::linear(3, 30.0, 40.0);
+  RoutingConfig cfg;
+  cfg.oracle = true;
+  LinkStateRouting r(sim, topo, cfg);
+  topo.set_position(1, {1000, 0});
+  EXPECT_FALSE(r.hops(0, 2).has_value());
+}
+
+TEST(LinkStateRouting, PeriodicRefreshKeepsRunning) {
+  sim::Simulator sim;
+  auto topo = phy::Topology::linear(3, 30.0, 40.0);
+  RoutingConfig cfg;
+  cfg.refresh_interval_s = 1.0;
+  LinkStateRouting r(sim, topo, cfg);
+  r.start();
+  sim.run_until(10.5);
+  EXPECT_GE(r.refreshes(), 10u);
+}
+
+TEST(LinkStateRouting, GridShortestPaths) {
+  sim::Simulator sim;
+  // 3x3 grid, spacing 30, range 40 (no diagonals: 42.4 > 40).
+  phy::Topology topo(9, 40.0);
+  for (core::NodeId i = 0; i < 9; ++i)
+    topo.set_position(i, {30.0 * (i % 3), 30.0 * (i / 3)});
+  LinkStateRouting r(sim, topo);
+  EXPECT_EQ(r.hops(0, 8), 4);  // manhattan distance in hops
+  EXPECT_EQ(r.hops(0, 2), 2);
+  const auto next = r.next_hop(0, 8);
+  ASSERT_TRUE(next.has_value());
+  EXPECT_TRUE(*next == 1 || *next == 3);
+}
+
+TEST(LinkStateRouting, NextHopToSelfIsNull) {
+  sim::Simulator sim;
+  auto topo = phy::Topology::linear(3, 30.0, 40.0);
+  LinkStateRouting r(sim, topo);
+  EXPECT_FALSE(r.next_hop(1, 1).has_value());
+}
+
+TEST(LinkStateRouting, RejectsBadRefresh) {
+  sim::Simulator sim;
+  auto topo = phy::Topology::linear(3, 30.0, 40.0);
+  RoutingConfig cfg;
+  cfg.refresh_interval_s = 0.0;
+  EXPECT_THROW(LinkStateRouting(sim, topo, cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace jtp::routing

@@ -1,0 +1,182 @@
+// Tests for receiver sequence bookkeeping with loss-tolerance waiving.
+#include "core/seq_tracker.h"
+
+#include <gtest/gtest.h>
+
+namespace jtp::core {
+namespace {
+
+TEST(SeqTracker, InOrderAdvancesBase) {
+  SeqTracker t;
+  for (SeqNo s = 0; s < 5; ++s) EXPECT_TRUE(t.receive(s));
+  EXPECT_EQ(t.cumulative_ack(), 5u);
+  EXPECT_EQ(t.received_count(), 5u);
+  EXPECT_TRUE(t.missing().empty());
+}
+
+TEST(SeqTracker, GapHoldsBase) {
+  SeqTracker t;
+  t.receive(0);
+  t.receive(2);
+  EXPECT_EQ(t.cumulative_ack(), 1u);
+  EXPECT_EQ(t.missing(), (std::vector<SeqNo>{1}));
+  t.receive(1);
+  EXPECT_EQ(t.cumulative_ack(), 3u);
+}
+
+TEST(SeqTracker, DuplicatesCounted) {
+  SeqTracker t;
+  t.receive(0);
+  EXPECT_FALSE(t.receive(0));
+  EXPECT_EQ(t.duplicate_count(), 1u);
+  EXPECT_EQ(t.received_count(), 1u);
+}
+
+TEST(SeqTracker, RejectsBadTolerance) {
+  EXPECT_THROW(SeqTracker(-0.1), std::invalid_argument);
+  EXPECT_THROW(SeqTracker(1.1), std::invalid_argument);
+}
+
+TEST(SeqTracker, ZeroToleranceNeverWaives) {
+  SeqTracker t(0.0);
+  t.receive(0);
+  t.receive(5);
+  const auto missing = t.missing_after_waive(100);
+  EXPECT_EQ(missing.size(), 4u);
+  EXPECT_EQ(t.waived_count(), 0u);
+}
+
+TEST(SeqTracker, ToleranceWaivesWithinQuota) {
+  SeqTracker t(0.10);
+  // 18 received, 2 holes: waiving both keeps the waived share at 10%.
+  for (SeqNo s = 0; s < 20; ++s)
+    if (s != 4 && s != 13) t.receive(s);
+  const auto missing = t.missing_after_waive(100);
+  EXPECT_TRUE(missing.empty());
+  EXPECT_EQ(t.waived_count(), 2u);
+  EXPECT_EQ(t.cumulative_ack(), 20u);  // waived seqs advance the base
+}
+
+TEST(SeqTracker, QuotaExhaustedRequestsRest) {
+  SeqTracker t(0.10);
+  // 10 received, 5 holes: only ~1 can be waived at 10%.
+  for (SeqNo s = 0; s < 15; ++s)
+    if (s % 3 != 1) t.receive(s);
+  const auto missing = t.missing_after_waive(100);
+  EXPECT_GE(missing.size(), 4u);
+  EXPECT_LE(t.waived_count(), 1u);
+}
+
+TEST(SeqTracker, WaivedFractionNeverExceedsTolerance) {
+  for (double tol : {0.0, 0.05, 0.1, 0.2, 0.5}) {
+    SeqTracker t(tol);
+    // Every 4th packet missing.
+    for (SeqNo s = 0; s < 400; ++s)
+      if (s % 4 != 0) t.receive(s);
+    t.missing_after_waive(1000);
+    const double total =
+        static_cast<double>(t.received_count() + t.waived_count());
+    if (total > 0) {
+      EXPECT_LE(static_cast<double>(t.waived_count()) / total, tol + 1e-9)
+          << "tol=" << tol;
+    }
+  }
+}
+
+TEST(SeqTracker, MaxCountCapsSnackList) {
+  SeqTracker t;
+  t.receive(100);  // 100 holes below
+  const auto missing = t.missing_after_waive(16);
+  EXPECT_EQ(missing.size(), 16u);
+  EXPECT_EQ(missing.front(), 0u);
+}
+
+TEST(SeqTracker, WaivedSeqTreatedAsDuplicateOnLateArrival) {
+  SeqTracker t(0.5);
+  for (SeqNo s = 0; s < 10; ++s)
+    if (s != 3) t.receive(s);
+  t.missing_after_waive(100);  // waives 3
+  EXPECT_EQ(t.waived_count(), 1u);
+  EXPECT_EQ(t.cumulative_ack(), 10u);
+  EXPECT_FALSE(t.receive(3));  // arrives late: duplicate, not fresh
+}
+
+TEST(SeqTracker, HorizonTracksMax) {
+  SeqTracker t;
+  t.receive(7);
+  EXPECT_EQ(t.horizon(), 8u);
+  t.receive(3);
+  EXPECT_EQ(t.horizon(), 8u);
+}
+
+TEST(SeqTracker, MissingAfterWaiveIsIdempotentWhenNothingChanges) {
+  SeqTracker t(0.0);
+  t.receive(0);
+  t.receive(3);
+  const auto a = t.missing_after_waive(10);
+  const auto b = t.missing_after_waive(10);
+  EXPECT_EQ(a, b);
+}
+
+// --- reorder gating (in-flight packets must not be requested) ---
+
+TEST(SeqTrackerReorder, FreshGapIsNotRequestableUnderThreshold) {
+  SeqTracker t(0.0);
+  t.receive(0);
+  t.receive(2);  // gap at 1, noticed by this arrival
+  // Only 0 later arrivals since the gap appeared: K=3 hides it.
+  EXPECT_TRUE(t.missing_after_waive(10, 3).empty());
+  // K=0 (quiet-flow bypass) exposes it.
+  EXPECT_EQ(t.missing_after_waive(10, 0), (std::vector<SeqNo>{1}));
+}
+
+TEST(SeqTrackerReorder, GapBecomesRequestableAfterKArrivals) {
+  SeqTracker t(0.0);
+  t.receive(0);
+  t.receive(2);  // gap at 1
+  t.receive(3);
+  EXPECT_TRUE(t.missing_after_waive(10, 3).empty());  // 1 later arrival
+  t.receive(4);
+  EXPECT_TRUE(t.missing_after_waive(10, 3).empty());  // 2 later arrivals
+  t.receive(5);
+  EXPECT_EQ(t.missing_after_waive(10, 3), (std::vector<SeqNo>{1}));
+}
+
+TEST(SeqTrackerReorder, LateArrivalClearsGapBeforeThreshold) {
+  SeqTracker t(0.0);
+  t.receive(0);
+  t.receive(2);
+  t.receive(1);  // in-flight packet shows up: no longer a gap
+  t.receive(3);
+  t.receive(4);
+  t.receive(5);
+  EXPECT_TRUE(t.missing_after_waive(10, 3).empty());
+  EXPECT_EQ(t.cumulative_ack(), 6u);
+}
+
+TEST(SeqTrackerReorder, WaiveQuotaOnlyConsultedForMatureGaps) {
+  SeqTracker t(1.0);  // tolerate everything
+  t.receive(0);
+  t.receive(2);  // fresh gap at 1
+  // Under threshold the gap is neither requested NOR waived yet.
+  EXPECT_TRUE(t.missing_after_waive(10, 3).empty());
+  EXPECT_EQ(t.waived_count(), 0u);
+  t.receive(3);
+  t.receive(4);
+  t.receive(5);
+  EXPECT_TRUE(t.missing_after_waive(10, 3).empty());  // now waived
+  EXPECT_EQ(t.waived_count(), 1u);
+}
+
+TEST(SeqTrackerReorder, MultiPacketJumpStampsAllGaps) {
+  SeqTracker t(0.0);
+  t.receive(5);  // gaps 0..4 all noticed at once
+  t.receive(6);
+  t.receive(7);
+  t.receive(8);  // 3 arrivals after the jump
+  const auto m = t.missing_after_waive(10, 3);
+  EXPECT_EQ(m, (std::vector<SeqNo>{0, 1, 2, 3, 4}));
+}
+
+}  // namespace
+}  // namespace jtp::core

@@ -1,0 +1,103 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace jtp::sim {
+namespace {
+
+TEST(Simulator, ClockStartsAtZero) {
+  Simulator s;
+  EXPECT_DOUBLE_EQ(s.now(), 0.0);
+}
+
+TEST(Simulator, ScheduleAdvancesClock) {
+  Simulator s;
+  double seen = -1.0;
+  s.schedule(2.5, [&] { seen = s.now(); });
+  s.run();
+  EXPECT_DOUBLE_EQ(seen, 2.5);
+  EXPECT_DOUBLE_EQ(s.now(), 2.5);
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary) {
+  Simulator s;
+  int fired = 0;
+  s.schedule(1.0, [&] { ++fired; });
+  s.schedule(2.0, [&] { ++fired; });
+  s.schedule(3.0, [&] { ++fired; });
+  s.run_until(2.0);  // inclusive boundary
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(s.now(), 2.0);
+  s.run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Simulator, RunUntilAdvancesClockEvenWithoutEvents) {
+  Simulator s;
+  s.run_until(10.0);
+  EXPECT_DOUBLE_EQ(s.now(), 10.0);
+}
+
+TEST(Simulator, EventsCanScheduleEvents) {
+  Simulator s;
+  std::vector<double> times;
+  std::function<void()> chain = [&] {
+    times.push_back(s.now());
+    if (times.size() < 5) s.schedule(1.0, chain);
+  };
+  s.schedule(1.0, chain);
+  s.run();
+  ASSERT_EQ(times.size(), 5u);
+  EXPECT_DOUBLE_EQ(times.back(), 5.0);
+}
+
+TEST(Simulator, NegativeDelayThrows) {
+  Simulator s;
+  EXPECT_THROW(s.schedule(-1.0, [] {}), std::invalid_argument);
+}
+
+TEST(Simulator, AtInPastThrows) {
+  Simulator s;
+  s.schedule(5.0, [] {});
+  s.run();
+  EXPECT_THROW(s.at(1.0, [] {}), std::invalid_argument);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator s;
+  bool fired = false;
+  const EventId id = s.schedule(1.0, [&] { fired = true; });
+  s.cancel(id);
+  s.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, CountsExecutedEvents) {
+  Simulator s;
+  for (int i = 0; i < 7; ++i) s.schedule(i, [] {});
+  s.run();
+  EXPECT_EQ(s.events_executed(), 7u);
+}
+
+TEST(Simulator, ZeroDelayRunsAtCurrentTime) {
+  Simulator s;
+  s.schedule(3.0, [&] {
+    s.schedule(0.0, [&] { EXPECT_DOUBLE_EQ(s.now(), 3.0); });
+  });
+  s.run();
+}
+
+TEST(Simulator, PendingReflectsQueue) {
+  Simulator s;
+  EXPECT_FALSE(s.pending());
+  s.schedule(1.0, [] {});
+  EXPECT_TRUE(s.pending());
+  s.run();
+  EXPECT_FALSE(s.pending());
+}
+
+}  // namespace
+}  // namespace jtp::sim

@@ -1,0 +1,103 @@
+#include "mac/tdma_schedule.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace jtp::mac {
+namespace {
+
+TEST(TdmaSchedule, SlotArithmetic) {
+  TdmaSchedule s(4, 0.01, 1);
+  EXPECT_EQ(s.slot_at(0.0), 0u);
+  EXPECT_EQ(s.slot_at(0.0099), 0u);
+  EXPECT_EQ(s.slot_at(0.01), 1u);
+  EXPECT_DOUBLE_EQ(s.slot_start(7), 0.07);
+  EXPECT_DOUBLE_EQ(s.frame_duration(), 0.04);
+}
+
+TEST(TdmaSchedule, EveryFrameIsAPermutation) {
+  TdmaSchedule s(7, 0.01, 42);
+  for (std::uint64_t frame = 0; frame < 50; ++frame) {
+    std::set<core::NodeId> owners;
+    for (std::uint64_t i = 0; i < 7; ++i)
+      owners.insert(s.owner(frame * 7 + i));
+    EXPECT_EQ(owners.size(), 7u) << "frame " << frame;
+  }
+}
+
+TEST(TdmaSchedule, CollisionFreeByConstruction) {
+  // One owner per slot is the definition; verify owner() is a function.
+  TdmaSchedule s(5, 0.02, 9);
+  for (std::uint64_t slot = 0; slot < 200; ++slot)
+    EXPECT_EQ(s.owner(slot), s.owner(slot));
+}
+
+TEST(TdmaSchedule, PermutationVariesAcrossFrames) {
+  TdmaSchedule s(6, 0.01, 3);
+  int identical = 0;
+  for (std::uint64_t f = 0; f + 1 < 40; ++f) {
+    bool same = true;
+    for (std::uint64_t i = 0; i < 6; ++i)
+      if (s.owner(f * 6 + i) != s.owner((f + 1) * 6 + i)) same = false;
+    if (same) ++identical;
+  }
+  EXPECT_LT(identical, 3);
+}
+
+TEST(TdmaSchedule, NextOwnedSlotIsOwnedAndNotBeforeT) {
+  TdmaSchedule s(5, 0.01, 7);
+  for (core::NodeId n = 0; n < 5; ++n) {
+    for (double t : {0.0, 0.003, 0.049, 1.234, 10.0}) {
+      const auto slot = s.next_owned_slot(n, t);
+      EXPECT_EQ(s.owner(slot), n);
+      EXPECT_GE(s.slot_start(slot), t);
+    }
+  }
+}
+
+TEST(TdmaSchedule, NextOwnedSlotIsTheFirstSuch) {
+  TdmaSchedule s(4, 0.01, 11);
+  const core::NodeId n = 2;
+  const auto slot = s.next_owned_slot(n, 0.0);
+  for (std::uint64_t earlier = 0; earlier < slot; ++earlier)
+    EXPECT_NE(s.owner(earlier), n);
+}
+
+TEST(TdmaSchedule, FairShareOverManyFrames) {
+  TdmaSchedule s(8, 0.01, 13);
+  std::vector<int> counts(8, 0);
+  for (std::uint64_t slot = 0; slot < 8 * 100; ++slot) ++counts[s.owner(slot)];
+  for (int c : counts) EXPECT_EQ(c, 100);
+}
+
+TEST(TdmaSchedule, NodeCapacityOnePacketPerFrame) {
+  TdmaSchedule s(10, 0.035, 1);
+  EXPECT_NEAR(s.node_capacity_pps(), 1.0 / 0.35, 1e-12);
+}
+
+TEST(TdmaSchedule, DifferentSeedsDifferentSchedules) {
+  TdmaSchedule a(6, 0.01, 1), b(6, 0.01, 2);
+  int differ = 0;
+  for (std::uint64_t slot = 0; slot < 120; ++slot)
+    if (a.owner(slot) != b.owner(slot)) ++differ;
+  EXPECT_GT(differ, 30);
+}
+
+TEST(TdmaSchedule, RejectsBadArgs) {
+  EXPECT_THROW(TdmaSchedule(0, 0.01, 1), std::invalid_argument);
+  EXPECT_THROW(TdmaSchedule(3, 0.0, 1), std::invalid_argument);
+  TdmaSchedule s(3, 0.01, 1);
+  EXPECT_THROW(s.next_owned_slot(5, 0.0), std::invalid_argument);
+  EXPECT_THROW(s.slot_at(-1.0), std::invalid_argument);
+}
+
+TEST(TdmaSchedule, SingleNodeOwnsEverySlot) {
+  TdmaSchedule s(1, 0.01, 1);
+  for (std::uint64_t slot = 0; slot < 20; ++slot)
+    EXPECT_EQ(s.owner(slot), 0u);
+}
+
+}  // namespace
+}  // namespace jtp::mac

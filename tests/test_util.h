@@ -1,0 +1,42 @@
+// Shared helpers for protocol endpoint tests: a capturing PacketSink and a
+// simulator-backed Env.
+#pragma once
+
+#include <vector>
+
+#include "core/env.h"
+#include "core/packet.h"
+#include "net/sim_env.h"
+#include "sim/simulator.h"
+
+namespace jtp::testing {
+
+// Records everything an endpoint hands to the stack.
+class CaptureSink final : public core::PacketSink {
+ public:
+  void send(core::Packet p) override { sent.push_back(std::move(p)); }
+
+  std::size_t data_count() const {
+    std::size_t n = 0;
+    for (const auto& p : sent)
+      if (p.is_data()) ++n;
+    return n;
+  }
+  std::size_t ack_count() const {
+    std::size_t n = 0;
+    for (const auto& p : sent)
+      if (p.is_ack()) ++n;
+    return n;
+  }
+
+  std::vector<core::Packet> sent;
+};
+
+// Bundles a simulator and its Env adapter.
+struct SimHarness {
+  sim::Simulator sim;
+  net::SimEnv env{sim};
+  CaptureSink sink;
+};
+
+}  // namespace jtp::testing

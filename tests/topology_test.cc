@@ -1,0 +1,70 @@
+#include "phy/topology.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/random.h"
+
+namespace jtp::phy {
+namespace {
+
+TEST(Topology, LinearChainIsConnectedAndMultiHop) {
+  const auto t = Topology::linear(5, 30.0, 40.0);
+  EXPECT_TRUE(t.connected());
+  // Neighbors only: no hop-skipping.
+  EXPECT_TRUE(t.in_range(0, 1));
+  EXPECT_FALSE(t.in_range(0, 2));
+  EXPECT_EQ(t.neighbors(2), (std::vector<core::NodeId>{1, 3}));
+  EXPECT_EQ(t.neighbors(0), (std::vector<core::NodeId>{1}));
+}
+
+TEST(Topology, LinearRejectsDegenerateSpacing) {
+  EXPECT_THROW(Topology::linear(5, 45.0, 40.0), std::invalid_argument);
+  // range >= 2*spacing would let the chain skip hops
+  EXPECT_THROW(Topology::linear(5, 15.0, 40.0), std::invalid_argument);
+}
+
+TEST(Topology, DistanceIsEuclidean) {
+  EXPECT_DOUBLE_EQ(distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(distance({1, 1}, {1, 1}), 0.0);
+}
+
+TEST(Topology, InRangeIsSymmetricAndIrreflexive) {
+  const auto t = Topology::linear(4, 30.0, 40.0);
+  for (core::NodeId a = 0; a < 4; ++a) {
+    EXPECT_FALSE(t.in_range(a, a));
+    for (core::NodeId b = 0; b < 4; ++b)
+      EXPECT_EQ(t.in_range(a, b), t.in_range(b, a));
+  }
+}
+
+TEST(Topology, RandomConnectedIsConnected) {
+  sim::Rng rng(5);
+  for (int i = 0; i < 5; ++i) {
+    const auto t = Topology::random_connected(15, 150.0, 40.0, rng);
+    EXPECT_TRUE(t.connected());
+    EXPECT_EQ(t.size(), 15u);
+  }
+}
+
+TEST(Topology, RandomConnectedImpossibleFieldThrows) {
+  sim::Rng rng(5);
+  // Nodes cannot stay connected w.h.p. in an enormous sparse field.
+  EXPECT_THROW(Topology::random_connected(10, 100000.0, 40.0, rng, 5),
+               std::runtime_error);
+}
+
+TEST(Topology, MovingNodeChangesConnectivity) {
+  auto t = Topology::linear(3, 30.0, 40.0);
+  EXPECT_TRUE(t.in_range(0, 1));
+  t.set_position(1, {500.0, 0.0});
+  EXPECT_FALSE(t.in_range(0, 1));
+  EXPECT_FALSE(t.connected());
+}
+
+TEST(Topology, RejectsBadConstruction) {
+  EXPECT_THROW(Topology(0, 10.0), std::invalid_argument);
+  EXPECT_THROW(Topology(3, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace jtp::phy
