@@ -62,7 +62,7 @@ int main(int argc, char** argv) {
 
   exp::TablePrinter tp({"protocol", "E/bit (mJ)", "goodput (kbps)"}, 22);
   tp.header(std::cout);
-  for (const auto [proto, name] :
+  for (const auto& [proto, name] :
        {std::pair{exp::Proto::kJtp, "JTP"}, {exp::Proto::kAtp, "ATP"},
         {exp::Proto::kTcp, "TCP"}}) {
     auto runs = exp::run_seeds(n_runs, opt.seed, [&, p = proto](

@@ -68,7 +68,7 @@ int main() {
   for (auto& [id, sensor] : sensors) {
     if (!sensor.flow->finished()) continue;
     for (const auto& [seq, frag] : sensor.by_seq) {
-      if (sensor.delivered.contains(seq)) continue;
+      if (sensor.delivered.count(seq)) continue;
       if (sensor.reassembler.waive(frag.message_id, frag.index, frag.count))
         ++sensor.reports_done;
     }

@@ -67,7 +67,7 @@ void AtpSender::pace() {
   while (!rtx_queue_.empty()) {
     const core::SeqNo seq = rtx_queue_.front();
     rtx_queue_.pop_front();
-    if (!unacked_.contains(seq)) continue;
+    if (!unacked_.count(seq)) continue;
     ++source_rtx_;
     ++data_sent_;
     sink_.send(make_data(seq, true));
@@ -95,7 +95,7 @@ void AtpSender::on_ack(const core::Packet& ack) {
   unacked_.erase(unacked_.begin(), unacked_.lower_bound(cum_ack_));
 
   for (core::SeqNo seq : h.snack.missing) {
-    if (seq < cum_ack_ || !unacked_.contains(seq)) continue;
+    if (seq < cum_ack_ || !unacked_.count(seq)) continue;
     if (std::find(rtx_queue_.begin(), rtx_queue_.end(), seq) ==
         rtx_queue_.end())
       rtx_queue_.push_back(seq);
@@ -170,11 +170,11 @@ void AtpReceiver::on_data(const core::Packet& p) {
   saw_data_ = true;
   last_echo_time_ = p.send_time;
   horizon_ = std::max(horizon_, p.seq + 1);
-  if (p.seq >= cum_ack_ && !out_of_order_.contains(p.seq)) {
+  if (p.seq >= cum_ack_ && !out_of_order_.count(p.seq)) {
     out_of_order_.insert(p.seq);
     ++delivered_;
     delivered_bits_ += core::bits(p.payload_bytes);
-    while (out_of_order_.contains(cum_ack_)) out_of_order_.erase(cum_ack_++);
+    while (out_of_order_.count(cum_ack_)) out_of_order_.erase(cum_ack_++);
   }
   if (std::isfinite(p.available_rate_pps)) {
     if (!rate_init_) {
@@ -206,7 +206,7 @@ void AtpReceiver::feedback_tick() {
     h.ack_serial = ++ack_serial_;
     for (core::SeqNo s = cum_ack_;
          s < horizon_ && h.snack.missing.size() < cfg_.max_holes_per_ack; ++s)
-      if (!out_of_order_.contains(s)) h.snack.missing.push_back(s);
+      if (!out_of_order_.count(s)) h.snack.missing.push_back(s);
     ack.ack = std::move(h);
 
     ++acks_sent_;

@@ -80,7 +80,7 @@ void TcpSackSender::pace() {
     const core::SeqNo seq = rtx_queue_.front();
     rtx_queue_.pop_front();
     auto it = unacked_.find(seq);
-    if (it == unacked_.end() || sacked_.contains(seq)) continue;
+    if (it == unacked_.end() || sacked_.count(seq)) continue;
     it->second = env_.now();
     ++source_rtx_;
     ++data_sent_;
@@ -130,7 +130,7 @@ void TcpSackSender::on_ack(const core::Packet& ack) {
   // SNACK.missing doubles as the SACK hole list.
   std::uint64_t newly_lost = 0;
   for (core::SeqNo seq : h.snack.missing) {
-    if (seq < cum_ack_ || !unacked_.contains(seq)) continue;
+    if (seq < cum_ack_ || !unacked_.count(seq)) continue;
     if (std::find(rtx_queue_.begin(), rtx_queue_.end(), seq) ==
         rtx_queue_.end()) {
       rtx_queue_.push_back(seq);
@@ -201,12 +201,12 @@ void TcpSackReceiver::on_data(const core::Packet& p) {
   assert(p.is_data() && p.flow == cfg_.flow);
   horizon_ = std::max(horizon_, p.seq + 1);
   bool fresh = false;
-  if (p.seq >= cum_ack_ && !out_of_order_.contains(p.seq)) {
+  if (p.seq >= cum_ack_ && !out_of_order_.count(p.seq)) {
     out_of_order_.insert(p.seq);
     fresh = true;
     delivered_ += 1;
     delivered_bits_ += core::bits(p.payload_bytes);
-    while (out_of_order_.contains(cum_ack_)) out_of_order_.erase(cum_ack_++);
+    while (out_of_order_.count(cum_ack_)) out_of_order_.erase(cum_ack_++);
   }
   ++unacked_data_;
   const bool out_of_order_arrival = fresh && p.seq != cum_ack_ - 1;
@@ -234,7 +234,7 @@ void TcpSackReceiver::send_ack(double echo_time) {
   // SACK holes: missing seqs between cum_ack_ and horizon_ (capped).
   for (core::SeqNo s = cum_ack_; s < horizon_ && h.snack.missing.size() < 16;
        ++s)
-    if (!out_of_order_.contains(s)) h.snack.missing.push_back(s);
+    if (!out_of_order_.count(s)) h.snack.missing.push_back(s);
   ack.ack = std::move(h);
 
   ++acks_sent_;

@@ -53,7 +53,7 @@ std::optional<Packet> PacketCache::lookup(FlowId flow, SeqNo seq) {
 }
 
 bool PacketCache::contains(FlowId flow, SeqNo seq) const {
-  return map_.contains(Key{flow, seq});
+  return map_.count(Key{flow, seq});
 }
 
 void PacketCache::erase_flow(FlowId flow) {

@@ -49,7 +49,7 @@ class PacketCache {
   struct Key {
     FlowId flow;
     SeqNo seq;
-    bool operator==(const Key&) const = default;
+    bool operator==(const Key& o) const { return flow == o.flow && seq == o.seq; }
   };
   struct KeyHash {
     std::size_t operator()(const Key& k) const {

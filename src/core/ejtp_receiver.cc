@@ -156,9 +156,13 @@ void EjtpReceiver::send_feedback(bool triggered) {
   }
   h.cumulative_ack = tracker_.cumulative_ack();
   // Prune bookkeeping below the cumulative ack (delivered or waived).
-  std::erase_if(snack_requested_at_, [&](const auto& kv) {
-    return kv.first < h.cumulative_ack;
-  });
+  for (auto it = snack_requested_at_.begin(); it != snack_requested_at_.end();) {
+    if (it->first < h.cumulative_ack) {
+      it = snack_requested_at_.erase(it);
+    } else {
+      ++it;
+    }
+  }
   h.advertised_rate_pps = advertised;
   h.energy_budget = energy_ctl_.budget();
   h.sender_timeout_s = current_feedback_period();

@@ -155,7 +155,7 @@ void EjtpSender::on_ack(const Packet& ack) {
 
   // Queue source retransmissions for seqs no cache could supply.
   for (SeqNo seq : h.snack.missing) {
-    if (seq < cum_ack_ || !unacked_.contains(seq)) continue;
+    if (seq < cum_ack_ || !unacked_.count(seq)) continue;
     if (std::find(rtx_queue_.begin(), rtx_queue_.end(), seq) ==
         rtx_queue_.end())
       rtx_queue_.push_back(seq);

@@ -11,7 +11,7 @@ SeqTracker::SeqTracker(double loss_tolerance) : tolerance_(loss_tolerance) {
 }
 
 bool SeqTracker::receive(SeqNo seq) {
-  if (seq < base_ || out_of_order_.contains(seq) || waived_.contains(seq)) {
+  if (seq < base_ || out_of_order_.count(seq) || waived_.count(seq)) {
     ++duplicates_;
     return false;
   }
@@ -58,7 +58,7 @@ std::vector<SeqNo> SeqTracker::missing_after_waive(std::size_t max_count,
                                                    int reorder_threshold) {
   std::vector<SeqNo> out;
   for (SeqNo s = base_; s < horizon_ && out.size() < max_count; ++s) {
-    if (out_of_order_.contains(s) || waived_.contains(s)) continue;
+    if (out_of_order_.count(s) || waived_.count(s)) continue;
     if (reorder_threshold > 0) {
       const auto it = gap_noticed_at_.find(s);
       const std::uint64_t since =
@@ -80,7 +80,7 @@ std::vector<SeqNo> SeqTracker::missing_after_waive(std::size_t max_count,
 std::vector<SeqNo> SeqTracker::missing() const {
   std::vector<SeqNo> out;
   for (SeqNo s = base_; s < horizon_; ++s)
-    if (!out_of_order_.contains(s) && !waived_.contains(s)) out.push_back(s);
+    if (!out_of_order_.count(s) && !waived_.count(s)) out.push_back(s);
   return out;
 }
 

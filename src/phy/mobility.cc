@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
-#include <numbers>
 #include <stdexcept>
 
 namespace jtp::phy {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+}
 
 RandomWaypoint::RandomWaypoint(sim::Simulator& sim, Topology& topo,
                                MobilityConfig cfg, sim::Rng rng)
@@ -28,7 +31,7 @@ void RandomWaypoint::start() {
 
 void RandomWaypoint::begin_leg(core::NodeId id) {
   auto& st = nodes_[id];
-  const double angle = st.rng.uniform(0.0, 2.0 * std::numbers::pi);
+  const double angle = st.rng.uniform(0.0, 2.0 * kPi);
   const double leg = st.rng.exponential(cfg_.mean_leg_m);
   const Position cur = topo_.position(id);
   Position tgt{cur.x + leg * std::cos(angle), cur.y + leg * std::sin(angle)};
