@@ -7,8 +7,11 @@
 // factor 1/(1-p^n)^{H-1}); JTP also spreads energy more evenly across
 // mid-path nodes.
 #include <algorithm>
+#include <array>
 #include <cstdio>
 #include <iostream>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "bench_util.h"
@@ -16,6 +19,7 @@
 #include "exp/runner.h"
 #include "exp/scenario.h"
 #include "exp/workload.h"
+#include "sim/trace.h"
 
 using namespace jtp;
 
@@ -50,6 +54,19 @@ int main(int argc, char** argv) {
   std::printf("long-lived flow over linear nets, %.0f s, %zu runs\n\n",
               duration, n_runs);
 
+  // Open the CSV up front so a bad path fails before the long runs.
+  std::optional<sim::CsvWriter> csv;
+  if (!opt.csv_path.empty()) {
+    csv.emplace(opt.csv_path, std::initializer_list<std::string>{
+                                  "net_size", "jtp_uj_per_bit",
+                                  "jnc_uj_per_bit", "jnc_over_jtp"});
+    if (!csv->ok()) {
+      std::fprintf(stderr, "error: cannot open %s for writing\n",
+                   opt.csv_path.c_str());
+      return 1;
+    }
+  }
+
   std::printf("--- (a) energy per delivered bit (uJ/bit) ---\n");
   exp::TablePrinter tp({"netSize", "jtp", "jnc", "jnc/jtp"}, 12);
   tp.header(std::cout);
@@ -66,9 +83,12 @@ int main(int argc, char** argv) {
     const auto en = exp::aggregate(jnc_runs, [](const exp::RunMetrics& m) {
       return m.energy_per_bit_uj();
     });
-    tp.row(std::cout, {static_cast<double>(n), ej.mean, en.mean,
-                       ej.mean > 0 ? en.mean / ej.mean : 0.0});
+    const std::array<double, 4> r{static_cast<double>(n), ej.mean, en.mean,
+                                  ej.mean > 0 ? en.mean / ej.mean : 0.0};
+    tp.row(std::cout, {r[0], r[1], r[2], r[3]});
+    if (csv) csv->row({r[0], r[1], r[2], r[3]});
   }
+  if (csv) std::printf("\nseries (a) written to %s\n", opt.csv_path.c_str());
 
   std::printf("\n--- (b) per-node energy, 7-node linear topology (J) ---\n");
   exp::TablePrinter tp2({"node", "jtp", "jnc"}, 12);
