@@ -6,8 +6,9 @@
 // its small α and lags. Measured directly on the PathMonitor with a
 // synthetic level shift, plus end-to-end on a transient-competitor
 // scenario (Fig. 8's setup).
+#include <cmath>
 #include <cstdio>
-#include <iostream>
+#include <string>
 
 #include "bench_util.h"
 #include "core/path_monitor.h"
@@ -35,16 +36,26 @@ int catch_up_samples(bool flipflop, double from, double to, double noise,
   return 500;
 }
 
+struct EndToEnd {
+  double queue_drops = 0;
+  double delivered_kbit = 0;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const auto opt = bench::parse_options(argc, argv);
 
   std::printf("=== Ablation: flip-flop filter vs stable-only EWMA ===\n\n");
-  std::printf("--- (a) catch-up time after a level shift (samples to reach "
-              "90%% of the shift) ---\n");
-  exp::TablePrinter tp({"shift", "noise", "flip-flop", "stable-only"}, 13);
-  tp.header(std::cout);
+  auto rep = bench::make_report(
+      opt, "(a) catch-up time after a level shift (samples to reach 90% of "
+           "the shift)",
+      {{"shift", 0},
+       {"noise", 1},
+       {"flipflop_samples", 1, true},
+       {"stable_samples", 1, true}},
+      18, "catchup");
+  rep.begin();
   for (const auto& [from, to, noise] :
        {std::tuple{10.0, 3.0, 0.2}, {10.0, 3.0, 0.8}, {2.0, 8.0, 0.2},
         {2.0, 8.0, 0.8}}) {
@@ -55,43 +66,63 @@ int main(int argc, char** argv) {
     }
     char shift[24];
     std::snprintf(shift, sizeof shift, "%.0f->%.0f", from, to);
-    tp.row(std::cout, {std::string(shift), exp::fmt(noise, 1),
-                       exp::fmt(ff.mean(), 1), exp::fmt(st.mean(), 1)});
+    rep.row({std::string(shift), noise,
+             exp::Aggregate{ff.mean(), ff.ci95_halfwidth(), ff.count()},
+             exp::Aggregate{st.mean(), st.ci95_halfwidth(), st.count()}});
   }
+  bench::finish_report(rep);
 
-  std::printf("\n--- (b) end-to-end: transient competitor (Fig. 8 setup) ---\n");
+  std::printf("\n");
   // With a sluggish monitor, flow 1 reacts late to the competitor's
   // arrival/departure: more queue drops on arrival, wasted idle capacity
   // after departure.
+  auto repb = bench::make_report(
+      opt, "(b) end-to-end: transient competitor (Fig. 8 setup)",
+      {{"variant", 0},
+       {"queue_drops", 1, true},
+       {"delivered_kbit", 0, true}},
+      18, "endtoend");
+  repb.begin();
+  const std::size_t runs = opt.pick_runs(3, 10);
   for (bool flipflop : {true, false}) {
-    double drops = 0, delivered = 0;
-    const std::size_t runs = opt.pick_runs(3, 10);
-    for (std::size_t r = 0; r < runs; ++r) {
-      exp::ScenarioConfig sc;
-      sc.seed = opt.seed + 71 * (r + 1);
-      sc.proto = exp::Proto::kJtp;
-      sc.fading = false;
-      sc.loss_good = 0.02;
-      auto cfg = exp::make_network_config(sc);
-      auto topo = phy::Topology::linear(5, exp::kSpacingM, exp::kRangeM);
-      net::Network net(std::move(topo), cfg);
-      exp::FlowManager fm(net, exp::Proto::kJtp);
-      exp::FlowOptions fo;
-      if (!flipflop) fo.monitor.alpha_agile = fo.monitor.alpha_stable;
-      fm.create(0, 4, 0, 0.0, fo);
-      auto& f2 = fm.create(0, 4, 0, 400.0, fo);
-      net.simulator().schedule(650.0, [&f2] {
-        f2.jtp.sender->stop();
-        f2.jtp.receiver->stop();
-      });
-      net.run_until(1000.0);
-      const auto m = fm.collect(1000.0);
-      drops += static_cast<double>(m.queue_drops) / runs;
-      delivered += m.delivered_kbit() / runs;
+    auto results = exp::run_seeds_as(
+        runs, opt.seed,
+        [&](std::uint64_t s) {
+          exp::ScenarioConfig sc;
+          sc.seed = s;
+          sc.proto = exp::Proto::kJtp;
+          sc.fading = false;
+          sc.loss_good = 0.02;
+          auto cfg = exp::make_network_config(sc);
+          auto topo = phy::Topology::linear(5, exp::kSpacingM, exp::kRangeM);
+          net::Network net(std::move(topo), cfg);
+          exp::FlowManager fm(net, exp::Proto::kJtp);
+          exp::FlowOptions fo;
+          if (!flipflop) fo.monitor.alpha_agile = fo.monitor.alpha_stable;
+          fm.create(0, 4, 0, 0.0, fo);
+          auto& f2 = fm.create(0, 4, 0, 400.0, fo);
+          net.simulator().schedule(650.0, [&f2] {
+            f2.jtp.sender->stop();
+            f2.jtp.receiver->stop();
+          });
+          net.run_until(1000.0);
+          const auto m = fm.collect(1000.0);
+          return EndToEnd{static_cast<double>(m.queue_drops),
+                          m.delivered_kbit()};
+        },
+        opt.jobs);
+    sim::Summary drops, delivered;
+    for (const auto& r : results) {
+      drops.add(r.queue_drops);
+      delivered.add(r.delivered_kbit);
     }
-    std::printf("  %-12s queueDrops=%.1f  delivered=%.0f kbit\n",
-                flipflop ? "flip-flop" : "stable-only", drops, delivered);
+    repb.row({flipflop ? "flip-flop" : "stable-only",
+              exp::Aggregate{drops.mean(), drops.ci95_halfwidth(),
+                             drops.count()},
+              exp::Aggregate{delivered.mean(), delivered.ci95_halfwidth(),
+                             delivered.count()}});
   }
+  bench::finish_report(repb);
   std::printf("\nexpected: the flip-flop filter converges in a handful of "
               "samples regardless of noise; the stable-only filter takes "
               "~5-20x longer.\n");

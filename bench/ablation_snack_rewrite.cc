@@ -6,12 +6,12 @@
 // leaves the request visible upstream: every cache on the path plus the
 // source may answer it, multiplying retransmissions of the same packet.
 #include <cstdio>
-#include <iostream>
 
 #include "bench_util.h"
 #include "exp/runner.h"
 #include "exp/scenario.h"
 #include "exp/workload.h"
+#include "sim/stats.h"
 
 using namespace jtp;
 
@@ -21,31 +21,42 @@ struct Outcome {
   double cache_rtx = 0, source_rtx = 0, duplicates = 0, energy_per_bit = 0;
 };
 
-Outcome run_case(bool rewrite, std::uint64_t seed, std::size_t n_runs,
-                 double duration) {
-  Outcome o;
-  for (std::size_t r = 0; r < n_runs; ++r) {
-    exp::ScenarioConfig sc;
-    sc.seed = seed + 31 * (r + 1);
-    sc.proto = exp::Proto::kJtp;
-    sc.loss_good = 0.10;
-    sc.loss_bad = 0.80;
-    sc.bad_fraction = 0.30;
-    auto cfg = exp::make_network_config(sc);
-    cfg.node.ijtp.rewrite_locally_recovered = rewrite;
-    auto topo = phy::Topology::linear(7, exp::kSpacingM, exp::kRangeM);
-    net::Network net(std::move(topo), cfg);
-    exp::FlowManager fm(net, exp::Proto::kJtp);
-    auto& flow = fm.create(0, 6, 0);
-    net.run_until(duration);
-    const auto m = fm.collect(duration);
-    o.cache_rtx += static_cast<double>(m.cache_retransmissions) / n_runs;
-    o.source_rtx += static_cast<double>(m.source_retransmissions) / n_runs;
-    o.duplicates +=
-        static_cast<double>(flow.jtp.receiver->duplicates()) / n_runs;
-    o.energy_per_bit += m.energy_per_bit_uj() / n_runs;
-  }
-  return o;
+struct Row {
+  exp::Aggregate cache_rtx, source_rtx, duplicates, energy_per_bit;
+};
+
+Row run_case(bool rewrite, std::uint64_t seed, std::size_t n_runs,
+             double duration, std::size_t jobs) {
+  auto runs = exp::run_seeds_as(
+      n_runs, seed,
+      [&](std::uint64_t s) {
+        exp::ScenarioConfig sc;
+        sc.seed = s;
+        sc.proto = exp::Proto::kJtp;
+        sc.loss_good = 0.10;
+        sc.loss_bad = 0.80;
+        sc.bad_fraction = 0.30;
+        auto cfg = exp::make_network_config(sc);
+        cfg.node.ijtp.rewrite_locally_recovered = rewrite;
+        auto topo = phy::Topology::linear(7, exp::kSpacingM, exp::kRangeM);
+        net::Network net(std::move(topo), cfg);
+        exp::FlowManager fm(net, exp::Proto::kJtp);
+        auto& flow = fm.create(0, 6, 0);
+        net.run_until(duration);
+        const auto m = fm.collect(duration);
+        return Outcome{static_cast<double>(m.cache_retransmissions),
+                       static_cast<double>(m.source_retransmissions),
+                       static_cast<double>(flow.jtp.receiver->duplicates()),
+                       m.energy_per_bit_uj()};
+      },
+      jobs);
+  auto agg = [&](double Outcome::*field) {
+    sim::Summary sum;
+    for (const auto& r : runs) sum.add(r.*field);
+    return exp::Aggregate{sum.mean(), sum.ci95_halfwidth(), sum.count()};
+  };
+  return Row{agg(&Outcome::cache_rtx), agg(&Outcome::source_rtx),
+             agg(&Outcome::duplicates), agg(&Outcome::energy_per_bit)};
 }
 
 }  // namespace
@@ -59,18 +70,22 @@ int main(int argc, char** argv) {
   std::printf("7-node lossy chain, one reliable flow, %.0f s, %zu runs\n\n",
               duration, n_runs);
 
-  const auto on = run_case(true, opt.seed, n_runs, duration);
-  const auto off = run_case(false, opt.seed, n_runs, duration);
+  const auto on = run_case(true, opt.seed, n_runs, duration, opt.jobs);
+  const auto off = run_case(false, opt.seed, n_runs, duration, opt.jobs);
 
-  exp::TablePrinter tp({"variant", "cacheRtx", "srcRtx", "dupRcvd",
-                        "E/bit(uJ)"}, 14);
-  tp.header(std::cout);
-  tp.row(std::cout, {std::string("rewrite ON"), exp::fmt(on.cache_rtx, 1),
-                     exp::fmt(on.source_rtx, 1), exp::fmt(on.duplicates, 1),
-                     exp::fmt(on.energy_per_bit, 2)});
-  tp.row(std::cout, {std::string("rewrite OFF"), exp::fmt(off.cache_rtx, 1),
-                     exp::fmt(off.source_rtx, 1), exp::fmt(off.duplicates, 1),
-                     exp::fmt(off.energy_per_bit, 2)});
+  auto rep = bench::make_report(opt, "",
+                                {{"variant", 0},
+                                 {"cache_rtx", 1, true},
+                                 {"src_rtx", 1, true},
+                                 {"dup_rcvd", 1, true},
+                                 {"e_per_bit_uj", 2, true}},
+                                16);
+  rep.begin();
+  rep.row({"rewrite ON", on.cache_rtx, on.source_rtx, on.duplicates,
+           on.energy_per_bit});
+  rep.row({"rewrite OFF", off.cache_rtx, off.source_rtx, off.duplicates,
+           off.energy_per_bit});
+  bench::finish_report(rep);
   std::printf("\nexpected: with the rewrite off, the same request is served "
               "by several caches AND the source — duplicate receptions and "
               "energy per bit rise.\n");

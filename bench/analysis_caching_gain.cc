@@ -1,5 +1,9 @@
 // §4.1 analysis: expected total node transmissions with and without
 // in-network caching — closed forms (eqs. 5 and 6) against Monte-Carlo.
+//
+// The Monte-Carlo draws are intentionally serial over the (p, H) grid so
+// the sequence of samples — and therefore the committed baseline CSV — is
+// independent of --jobs.
 #include <cstdio>
 
 #include "bench_util.h"
@@ -14,9 +18,18 @@ int main(int argc, char** argv) {
 
   std::printf("=== Analysis: in-network caching gain (eqs. 5-6) ===\n");
   std::printf("k=%d packets, attempts n=5 per link (MAX_ATTEMPTS)\n\n", k);
-  std::printf("%5s %6s | %12s %12s | %14s %14s %14s | %8s\n", "p", "H",
-              "eq5 (JTP)", "mc (JTP)", "eq6 exact", "eq6 approx", "mc (JNC)",
-              "gain");
+
+  auto rep = bench::make_report(opt, "",
+                                {{"p", 2},
+                                 {"h", 0},
+                                 {"eq5_jtp", 0},
+                                 {"mc_jtp", 0},
+                                 {"eq6_exact", 0},
+                                 {"eq6_approx", 0},
+                                 {"mc_jnc", 0},
+                                 {"gain", 3}},
+                                12);
+  rep.begin();
 
   sim::Rng rng(opt.seed);
   for (double p : {0.05, 0.2, 0.35, 0.45}) {
@@ -27,11 +40,10 @@ int main(int argc, char** argv) {
       const double eq6 = core::expected_tx_without_caching_exact(k, h, p, n);
       const double eq6a = core::expected_tx_without_caching_approx(k, h, p, n);
       const double mc6 = core::simulate_tx_without_caching(k, h, p, n, rng);
-      std::printf("%5.2f %6d | %12.0f %12.0f | %14.0f %14.0f %14.0f | %8.3f\n",
-                  p, h, eq5, mc5, eq6, eq6a, mc6,
-                  core::caching_gain(h, p, n));
+      rep.row({p, h, eq5, mc5, eq6, eq6a, mc6, core::caching_gain(h, p, n)});
     }
   }
+  bench::finish_report(rep);
   std::printf("\nexpected: mc columns match their closed forms; the JNC/JTP "
               "gain grows with H and with p.\n");
   return 0;

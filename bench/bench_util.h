@@ -4,14 +4,26 @@
 //   --full        paper-scale durations and seed counts (slower)
 //   --seed N      base seed (default 1)
 //   --runs N      override the number of independent runs
-//   --csv PATH    also write the series to a CSV file
+//   --jobs N      seed-level parallelism (default: one per hardware thread)
+//   --csv PATH    also write the result series to CSV file(s)
+//   --help        print usage and exit
+//
+// Unknown flags are an error (exit 2 with usage), not silently ignored —
+// a typo like --job must not turn a parallel baseline run into a serial
+// one that silently measures something else.
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <iostream>
 #include <optional>
 #include <string>
+#include <utility>
+#include <vector>
+
+#include "exp/runner.h"
 
 namespace jtp::bench {
 
@@ -20,6 +32,7 @@ struct Options {
   std::uint64_t seed = 1;
   std::optional<std::size_t> runs;
   std::string csv_path;
+  std::size_t jobs = 0;  // 0 = auto (one job per hardware thread)
 
   std::size_t pick_runs(std::size_t quick, std::size_t paper) const {
     if (runs) return *runs;
@@ -30,20 +43,137 @@ struct Options {
   }
 };
 
-inline Options parse_options(int argc, char** argv) {
-  Options o;
+// Outcome of parsing: either a usable Options, a help request, or an
+// error message. Kept exit-free so tests can exercise the parser.
+struct ParseResult {
+  Options options;
+  bool help = false;
+  std::string error;  // non-empty => parse failed
+
+  bool ok() const { return error.empty(); }
+};
+
+inline const char* usage_text() {
+  return
+      "  --full        paper-scale durations and seed counts (slower)\n"
+      "  --seed N      base seed (default 1)\n"
+      "  --runs N      override the number of independent runs\n"
+      "  --jobs N      run seeds on N threads (default: hardware threads)\n"
+      "  --csv PATH    also write the result series to CSV file(s);\n"
+      "                multi-table benches derive PATH.<section>.csv names\n"
+      "  --help        show this message\n";
+}
+
+inline ParseResult parse_args(int argc, char** argv) {
+  ParseResult r;
+  auto numeric = [&](const char* flag, int& i, std::uint64_t& out) {
+    if (i + 1 >= argc) {
+      r.error = std::string(flag) + " requires a value";
+      return false;
+    }
+    const char* arg = argv[++i];
+    // Digits only: strtoull would silently wrap "-1" to 2^64-1.
+    bool all_digits = *arg != '\0';
+    for (const char* p = arg; *p; ++p)
+      if (*p < '0' || *p > '9') all_digits = false;
+    if (!all_digits) {
+      r.error = std::string(flag) + ": '" + arg +
+                "' is not a non-negative integer";
+      return false;
+    }
+    char* end = nullptr;
+    out = std::strtoull(arg, &end, 10);
+    return true;
+  };
   for (int i = 1; i < argc; ++i) {
+    std::uint64_t v = 0;
     if (std::strcmp(argv[i], "--full") == 0) {
-      o.full = true;
-    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
-      o.seed = std::strtoull(argv[++i], nullptr, 10);
-    } else if (std::strcmp(argv[i], "--runs") == 0 && i + 1 < argc) {
-      o.runs = std::strtoull(argv[++i], nullptr, 10);
-    } else if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
-      o.csv_path = argv[++i];
+      r.options.full = true;
+    } else if (std::strcmp(argv[i], "--help") == 0 ||
+               std::strcmp(argv[i], "-h") == 0) {
+      r.help = true;
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      if (!numeric("--seed", i, v)) return r;
+      r.options.seed = v;
+    } else if (std::strcmp(argv[i], "--runs") == 0) {
+      if (!numeric("--runs", i, v)) return r;
+      if (v == 0) {
+        r.error = "--runs must be at least 1";
+        return r;
+      }
+      r.options.runs = static_cast<std::size_t>(v);
+    } else if (std::strcmp(argv[i], "--jobs") == 0) {
+      if (!numeric("--jobs", i, v)) return r;
+      r.options.jobs = static_cast<std::size_t>(v);
+    } else if (std::strcmp(argv[i], "--csv") == 0) {
+      if (i + 1 >= argc) {
+        r.error = "--csv requires a path";
+        return r;
+      }
+      r.options.csv_path = argv[++i];
+    } else {
+      r.error = std::string("unknown flag '") + argv[i] + "'";
+      return r;
     }
   }
-  return o;
+  return r;
+}
+
+// Parses or exits: usage+0 on --help, error+usage+2 on a bad flag.
+inline Options parse_options(int argc, char** argv) {
+  const auto r = parse_args(argc, argv);
+  if (r.help) {
+    std::printf("usage: %s [options]\n%s", argv[0], usage_text());
+    std::exit(0);
+  }
+  if (!r.ok()) {
+    std::fprintf(stderr, "error: %s\nusage: %s [options]\n%s",
+                 r.error.c_str(), argv[0], usage_text());
+    std::exit(2);
+  }
+  return r.options;
+}
+
+// Section-qualified CSV path for benches that emit several tables:
+// ("out.csv", "b") -> "out.b.csv"; no extension appends ".b". An empty
+// section returns the base path unchanged.
+inline std::string csv_section_path(const std::string& base,
+                                    const std::string& section) {
+  if (section.empty()) return base;
+  const auto slash = base.find_last_of('/');
+  const auto dot = base.find_last_of('.');
+  if (dot == std::string::npos ||
+      (slash != std::string::npos && dot < slash))
+    return base + "." + section;
+  return base.substr(0, dot) + "." + section + base.substr(dot);
+}
+
+// Builds a Report on stdout; when --csv was given, attaches the
+// section-qualified path and exits(1) if it cannot be opened (before any
+// simulation time is spent).
+inline exp::Report make_report(const Options& opt, std::string title,
+                               std::vector<sim::Column> cols, int width = 14,
+                               const std::string& section = "") {
+  exp::Report rep(std::cout, std::move(title), std::move(cols), width);
+  if (!opt.csv_path.empty()) {
+    const auto path = csv_section_path(opt.csv_path, section);
+    if (!rep.to_csv(path)) {
+      std::fprintf(stderr, "error: cannot open %s for writing\n",
+                   path.c_str());
+      std::exit(1);
+    }
+  }
+  return rep;
+}
+
+// Flushes the report's CSV and exits(1) on a failed write — a truncated
+// CSV must not look like a successful run to the baseline tooling.
+inline void finish_report(exp::Report& rep) {
+  if (!rep.finish()) {
+    std::fprintf(stderr, "error: CSV write to %s failed\n",
+                 rep.csv_path().c_str());
+    std::exit(1);
+  }
 }
 
 }  // namespace jtp::bench

@@ -9,7 +9,6 @@
 // Expected shape: energy(jtp20) < energy(jtp10) < energy(jtp0); delivered
 // data stays above the requirement line for each tolerance.
 #include <cstdio>
-#include <iostream>
 #include <vector>
 
 #include "bench_util.h"
@@ -33,51 +32,62 @@ int main(int argc, char** argv) {
   const std::vector<double> tolerances = {0.0, 0.10, 0.20};
   const std::vector<std::size_t> sizes = {2, 3, 4, 5, 6, 7, 8, 9};
 
-  exp::TablePrinter tp({"netSize", "jtp0 E(J)", "jtp10 E(J)", "jtp20 E(J)",
-                        "jtp0 kb", "jtp10 kb", "jtp20 kb"},
-                       13);
-  tp.header(std::cout);
+  auto rep = bench::make_report(
+      opt, "",
+      {{"net_size", 0},
+       {"jtp0_energy_j", 3, true},
+       {"jtp10_energy_j", 3, true},
+       {"jtp20_energy_j", 3, true},
+       {"jtp0_kbit", 3, true},
+       {"jtp10_kbit", 3, true},
+       {"jtp20_kbit", 3, true}},
+      17);
+  rep.begin();
 
   for (std::size_t n : sizes) {
-    std::vector<double> row{static_cast<double>(n)};
-    std::vector<double> kb_cells;
+    std::vector<sim::Cell> row{n};
+    std::vector<sim::Cell> kb_cells;
     for (double lt : tolerances) {
-      auto runs = exp::run_seeds(n_runs, opt.seed, [&](std::uint64_t s) {
-        exp::ScenarioConfig sc;
-        sc.seed = s + static_cast<std::uint64_t>(lt * 1000);
-        sc.proto = exp::Proto::kJtp;
-        // Residual loss high enough that the attempt budget differs
-        // across tolerance levels even in the good state.
-        sc.loss_good = 0.15;
-        auto net = exp::make_linear(n, sc);
-        exp::FlowManager fm(*net, exp::Proto::kJtp);
-        exp::FlowOptions fo;
-        fo.loss_tolerance = lt;
-        fm.create(0, static_cast<core::NodeId>(n - 1), k, 0.0, fo);
-        net->run_until(horizon);
-        return fm.collect(horizon);
-      });
-      const auto energy =
-          exp::aggregate(runs, [](const exp::RunMetrics& m) {
-            return m.total_energy_j;
-          });
-      const auto kb = exp::aggregate(runs, [](const exp::RunMetrics& m) {
+      auto runs = exp::run_seeds(
+          n_runs, opt.seed,
+          [&](std::uint64_t s) {
+            exp::ScenarioConfig sc;
+            sc.seed = s + static_cast<std::uint64_t>(lt * 1000);
+            sc.proto = exp::Proto::kJtp;
+            // Residual loss high enough that the attempt budget differs
+            // across tolerance levels even in the good state.
+            sc.loss_good = 0.15;
+            auto net = exp::make_linear(n, sc);
+            exp::FlowManager fm(*net, exp::Proto::kJtp);
+            exp::FlowOptions fo;
+            fo.loss_tolerance = lt;
+            fm.create(0, static_cast<core::NodeId>(n - 1), k, 0.0, fo);
+            net->run_until(horizon);
+            return fm.collect(horizon);
+          },
+          opt.jobs);
+      row.push_back(exp::aggregate(runs, [](const exp::RunMetrics& m) {
+        return m.total_energy_j;
+      }));
+      kb_cells.push_back(exp::aggregate(runs, [](const exp::RunMetrics& m) {
         return m.delivered_kbit();
-      });
-      row.push_back(energy.mean);
-      kb_cells.push_back(kb.mean);
+      }));
     }
     row.insert(row.end(), kb_cells.begin(), kb_cells.end());
-    tp.row(std::cout, row);
+    rep.row(std::move(row));
   }
+  bench::finish_report(rep);
   const double total_kb = static_cast<double>(k) * 800 * 8 / 1e3;
   std::printf("\napplication requirement lines: 90%% = %.0f kb, 80%% = %.0f kb"
               " (of %.0f kb offered)\n",
               0.9 * total_kb, 0.8 * total_kb, total_kb);
 
   // ---- (c) per-packet attempt budget at the 3rd node of a 4-node path ----
-  std::printf("\n--- Fig 3(c): attempt budget assigned at node 2 of a 4-node "
-              "path (jtp10) ---\n");
+  std::printf("\n");
+  auto repc = bench::make_report(
+      opt, "Fig 3(c): attempt budget assigned at node 2 of a 4-node path "
+           "(jtp10)",
+      {{"time_s", 1}, {"max_attempts", 0}}, 13, "attempts");
   {
     exp::ScenarioConfig sc;
     sc.seed = opt.seed;
@@ -93,9 +103,11 @@ int main(int argc, char** argv) {
           trace.push_back({t, m});
         });
     net->run_until(opt.full ? 1200.0 : 400.0);
-    std::printf("time(s)  max_attempts   (every 10th packet)\n");
-    for (std::size_t i = 0; i < trace.size(); i += 10)
-      std::printf("%7.1f  %d\n", trace[i].first, trace[i].second);
+    repc.begin();
+    std::printf("(stdout shows every 10th packet; the CSV has all)\n");
+    for (std::size_t i = 0; i < trace.size(); ++i)
+      repc.row({trace[i].first, trace[i].second}, /*echo=*/i % 10 == 0);
+    bench::finish_report(repc);
     sim::Summary s;
     for (auto& [t, m] : trace) s.add(m);
     std::printf("mean attempt budget: %.2f (min %.0f, max %.0f, %zu pkts)\n",

@@ -7,11 +7,7 @@
 // factor 1/(1-p^n)^{H-1}); JTP also spreads energy more evenly across
 // mid-path nodes.
 #include <algorithm>
-#include <array>
 #include <cstdio>
-#include <iostream>
-#include <optional>
-#include <string>
 #include <vector>
 
 #include "bench_util.h"
@@ -19,7 +15,6 @@
 #include "exp/runner.h"
 #include "exp/scenario.h"
 #include "exp/workload.h"
-#include "sim/trace.h"
 
 using namespace jtp;
 
@@ -54,60 +49,59 @@ int main(int argc, char** argv) {
   std::printf("long-lived flow over linear nets, %.0f s, %zu runs\n\n",
               duration, n_runs);
 
-  // Open the CSV up front so a bad path fails before the long runs.
-  std::optional<sim::CsvWriter> csv;
-  if (!opt.csv_path.empty()) {
-    csv.emplace(opt.csv_path, std::initializer_list<std::string>{
-                                  "net_size", "jtp_uj_per_bit",
-                                  "jnc_uj_per_bit", "jnc_over_jtp"});
-    if (!csv->ok()) {
-      std::fprintf(stderr, "error: cannot open %s for writing\n",
-                   opt.csv_path.c_str());
-      return 1;
-    }
-  }
-
-  std::printf("--- (a) energy per delivered bit (uJ/bit) ---\n");
-  exp::TablePrinter tp({"netSize", "jtp", "jnc", "jnc/jtp"}, 12);
-  tp.header(std::cout);
+  auto rep = bench::make_report(opt, "(a) energy per delivered bit (uJ/bit)",
+                                {{"net_size", 0},
+                                 {"jtp_uj_per_bit", 3, true},
+                                 {"jnc_uj_per_bit", 3, true},
+                                 {"jnc_over_jtp", 3}},
+                                16, "a");
+  rep.begin();
+  // Section (b) reuses the 7-node runs from this sweep instead of
+  // re-simulating them (RunMetrics already carries per-node energy).
+  std::vector<exp::RunMetrics> jtp7, jnc7;
   for (std::size_t n : {3, 4, 5, 6, 7, 8, 9}) {
-    auto jtp_runs = exp::run_seeds(n_runs, opt.seed, [&](std::uint64_t s) {
-      return one_run(n, exp::Proto::kJtp, s, duration);
-    });
-    auto jnc_runs = exp::run_seeds(n_runs, opt.seed, [&](std::uint64_t s) {
-      return one_run(n, exp::Proto::kJnc, s, duration);
-    });
+    auto jtp_runs = exp::run_seeds(
+        n_runs, opt.seed,
+        [&](std::uint64_t s) {
+          return one_run(n, exp::Proto::kJtp, s, duration);
+        },
+        opt.jobs);
+    auto jnc_runs = exp::run_seeds(
+        n_runs, opt.seed,
+        [&](std::uint64_t s) {
+          return one_run(n, exp::Proto::kJnc, s, duration);
+        },
+        opt.jobs);
     const auto ej = exp::aggregate(jtp_runs, [](const exp::RunMetrics& m) {
       return m.energy_per_bit_uj();
     });
     const auto en = exp::aggregate(jnc_runs, [](const exp::RunMetrics& m) {
       return m.energy_per_bit_uj();
     });
-    const std::array<double, 4> r{static_cast<double>(n), ej.mean, en.mean,
-                                  ej.mean > 0 ? en.mean / ej.mean : 0.0};
-    tp.row(std::cout, {r[0], r[1], r[2], r[3]});
-    if (csv) csv->row({r[0], r[1], r[2], r[3]});
+    rep.row({n, ej, en, ej.mean > 0 ? en.mean / ej.mean : 0.0});
+    if (n == 7) {
+      jtp7 = std::move(jtp_runs);
+      jnc7 = std::move(jnc_runs);
+    }
   }
-  if (csv) std::printf("\nseries (a) written to %s\n", opt.csv_path.c_str());
+  bench::finish_report(rep);
 
-  std::printf("\n--- (b) per-node energy, 7-node linear topology (J) ---\n");
-  exp::TablePrinter tp2({"node", "jtp", "jnc"}, 12);
-  tp2.header(std::cout);
+  std::printf("\n");
+  auto repb = bench::make_report(
+      opt, "(b) per-node energy, 7-node linear topology (J)",
+      {{"node", 0}, {"jtp_j", 4}, {"jnc_j", 4}}, 12, "b");
+  repb.begin();
   {
     std::vector<double> jtp_node(7, 0.0), jnc_node(7, 0.0);
     for (std::size_t r = 0; r < n_runs; ++r) {
-      const auto mj = one_run(7, exp::Proto::kJtp, opt.seed + 1000 * (r + 1),
-                              duration);
-      const auto mn = one_run(7, exp::Proto::kJnc, opt.seed + 1000 * (r + 1),
-                              duration);
       for (int i = 0; i < 7; ++i) {
-        jtp_node[i] += mj.per_node_energy_j[i] / n_runs;
-        jnc_node[i] += mn.per_node_energy_j[i] / n_runs;
+        jtp_node[i] += jtp7[r].per_node_energy_j[i] / n_runs;
+        jnc_node[i] += jnc7[r].per_node_energy_j[i] / n_runs;
       }
     }
     for (int i = 0; i < 7; ++i)
-      tp2.row(std::cout,
-              {static_cast<double>(i + 1), jtp_node[i], jnc_node[i]});
+      repb.row({i + 1, jtp_node[i], jnc_node[i]});
+    bench::finish_report(repb);
     // Mid-path fairness: coefficient of spread across interior nodes.
     auto spread = [](const std::vector<double>& v) {
       double lo = 1e18, hi = 0;

@@ -7,8 +7,8 @@
 // source compensates for the cache traffic sent on its behalf and the two
 // flows' reception rates stay balanced; without it, flow 2 shows rate
 // spikes and squeezes flow 1 (visible in the long-term average).
+#include <algorithm>
 #include <cstdio>
-#include <iostream>
 #include <vector>
 
 #include "bench_util.h"
@@ -61,12 +61,18 @@ SeriesPair run_case(bool backoff, std::uint64_t seed, double duration) {
   return out;
 }
 
-void print_series(const SeriesPair& sp, double duration, double bucket) {
+void print_series(const bench::Options& opt, const std::string& title,
+                  const std::string& section, const SeriesPair& sp,
+                  double duration, double bucket) {
+  auto rep = bench::make_report(
+      opt, title, {{"time_s", 0}, {"flow1_pps", 2}, {"flow2_pps", 2}}, 12,
+      section);
+  rep.begin();
   const auto r1 = sp.f1.bucket_rate(duration, bucket);
   const auto r2 = sp.f2.bucket_rate(duration, bucket);
-  std::printf("%10s %12s %12s\n", "time(s)", "flow1(pps)", "flow2(pps)");
-  for (std::size_t i = 0; i < r1.size(); i += 2)
-    std::printf("%10.0f %12.2f %12.2f\n", r1[i].t, r1[i].v, r2[i].v);
+  for (std::size_t i = 0; i < r1.size(); ++i)
+    rep.row({r1[i].t, r1[i].v, r2[i].v}, /*echo=*/i % 2 == 0);
+  bench::finish_report(rep);
 }
 
 }  // namespace
@@ -83,31 +89,54 @@ int main(int argc, char** argv) {
   const auto with = run_case(/*backoff=*/true, opt.seed, duration);
   const auto without = run_case(/*backoff=*/false, opt.seed, duration);
 
-  std::printf("--- (a) with back-off: short-term reception rate ---\n");
-  print_series(with, duration, duration / 20.0);
-  std::printf("\n--- (b) without back-off: short-term reception rate ---\n");
-  print_series(without, duration, duration / 20.0);
+  print_series(opt, "(a) with back-off: short-term reception rate", "with",
+               with, duration, duration / 20.0);
+  std::printf("\n");
+  print_series(opt, "(b) without back-off: short-term reception rate",
+               "without", without, duration, duration / 20.0);
 
   // Multi-seed averages for the long-term comparison.
-  double g1w = 0, g2w = 0, g1wo = 0, g2wo = 0;
+  struct LongTerm {
+    SeriesPair with_backoff, without_backoff;
+  };
+  auto runs = exp::run_seeds_as(
+      n_runs, opt.seed,
+      [&](std::uint64_t s) {
+        return LongTerm{run_case(true, s, duration),
+                        run_case(false, s, duration)};
+      },
+      opt.jobs);
+
+  sim::Summary g1w, g2w, g1wo, g2wo;
   std::uint64_t rtx_w = 0, rtx_wo = 0;
-  for (std::size_t r = 0; r < n_runs; ++r) {
-    const auto a = run_case(true, opt.seed + 777 * (r + 1), duration);
-    const auto b = run_case(false, opt.seed + 777 * (r + 1), duration);
-    g1w += a.goodput1 / n_runs;
-    g2w += a.goodput2 / n_runs;
-    g1wo += b.goodput1 / n_runs;
-    g2wo += b.goodput2 / n_runs;
-    rtx_w += a.cache_rtx;
-    rtx_wo += b.cache_rtx;
+  for (const auto& r : runs) {
+    g1w.add(r.with_backoff.goodput1);
+    g2w.add(r.with_backoff.goodput2);
+    g1wo.add(r.without_backoff.goodput1);
+    g2wo.add(r.without_backoff.goodput2);
+    rtx_w += r.with_backoff.cache_rtx;
+    rtx_wo += r.without_backoff.cache_rtx;
   }
-  std::printf("\n--- long-term goodput (kbps, mean of %zu runs) ---\n",
-              n_runs);
-  std::printf("%22s %10s %10s %14s\n", "", "flow1", "flow2", "flow2/flow1");
-  std::printf("%22s %10.3f %10.3f %14.2f\n", "with back-off", g1w, g2w,
-              g2w / std::max(1e-9, g1w));
-  std::printf("%22s %10.3f %10.3f %14.2f\n", "without back-off", g1wo, g2wo,
-              g2wo / std::max(1e-9, g1wo));
+
+  std::printf("\n");
+  auto rep = bench::make_report(
+      opt, "long-term goodput (kbps, mean of " + std::to_string(n_runs) +
+               " runs)",
+      {{"variant", 3},
+       {"flow1_kbps", 3, true},
+       {"flow2_kbps", 3, true},
+       {"flow2_over_flow1", 2}},
+      18, "longterm");
+  rep.begin();
+  rep.row({"with back-off",
+           exp::Aggregate{g1w.mean(), g1w.ci95_halfwidth(), g1w.count()},
+           exp::Aggregate{g2w.mean(), g2w.ci95_halfwidth(), g2w.count()},
+           g2w.mean() / std::max(1e-9, g1w.mean())});
+  rep.row({"without back-off",
+           exp::Aggregate{g1wo.mean(), g1wo.ci95_halfwidth(), g1wo.count()},
+           exp::Aggregate{g2wo.mean(), g2wo.ci95_halfwidth(), g2wo.count()},
+           g2wo.mean() / std::max(1e-9, g1wo.mean())});
+  bench::finish_report(rep);
   std::printf("\ncache retransmissions (all runs): with=%llu, without=%llu\n",
               static_cast<unsigned long long>(rtx_w),
               static_cast<unsigned long long>(rtx_wo));

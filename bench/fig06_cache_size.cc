@@ -6,7 +6,6 @@
 // hold a feedback period's worth of traffic, source retransmissions drop
 // sharply and stay flat — the knee the paper shows.
 #include <cstdio>
-#include <iostream>
 #include <vector>
 
 #include "bench_util.h"
@@ -18,22 +17,27 @@ using namespace jtp;
 
 namespace {
 
-double source_rtx(std::size_t net_size, std::size_t cache, std::uint64_t seed,
-                  std::size_t n_runs, double duration) {
-  double total = 0;
-  for (std::size_t r = 0; r < n_runs; ++r) {
-    exp::ScenarioConfig sc;
-    sc.seed = seed + 1000 * (r + 1);
-    sc.proto = exp::Proto::kJtp;
-    sc.cache_size_packets = cache;
-    sc.loss_bad = 0.6;
-    auto net = exp::make_linear(net_size, sc);
-    exp::FlowManager fm(*net, exp::Proto::kJtp);
-    fm.create(0, static_cast<core::NodeId>(net_size - 1), 0);
-    net->run_until(duration);
-    total += static_cast<double>(fm.collect(duration).source_retransmissions);
-  }
-  return total / n_runs;
+exp::Aggregate source_rtx(std::size_t net_size, std::size_t cache,
+                          std::uint64_t seed, std::size_t n_runs,
+                          double duration, std::size_t jobs) {
+  auto runs = exp::run_seeds(
+      n_runs, seed,
+      [&](std::uint64_t s) {
+        exp::ScenarioConfig sc;
+        sc.seed = s;
+        sc.proto = exp::Proto::kJtp;
+        sc.cache_size_packets = cache;
+        sc.loss_bad = 0.6;
+        auto net = exp::make_linear(net_size, sc);
+        exp::FlowManager fm(*net, exp::Proto::kJtp);
+        fm.create(0, static_cast<core::NodeId>(net_size - 1), 0);
+        net->run_until(duration);
+        return fm.collect(duration);
+      },
+      jobs);
+  return exp::aggregate(runs, [](const exp::RunMetrics& m) {
+    return static_cast<double>(m.source_retransmissions);
+  });
 }
 
 }  // namespace
@@ -51,14 +55,20 @@ int main(int argc, char** argv) {
   const std::vector<std::size_t> caches = {1, 2, 4, 8, 16, 32, 64, 128};
   const std::vector<std::size_t> sizes = {4, 6, 8};
 
-  exp::TablePrinter tp({"cacheSize", "net=4", "net=6", "net=8"}, 12);
-  tp.header(std::cout);
+  auto rep = bench::make_report(opt, "",
+                                {{"cache_size", 0},
+                                 {"src_rtx_net4", 1, true},
+                                 {"src_rtx_net6", 1, true},
+                                 {"src_rtx_net8", 1, true}},
+                                16);
+  rep.begin();
   for (std::size_t c : caches) {
-    std::vector<double> row{static_cast<double>(c)};
+    std::vector<sim::Cell> row{c};
     for (std::size_t n : sizes)
-      row.push_back(source_rtx(n, c, opt.seed, n_runs, duration));
-    tp.row(std::cout, row);
+      row.push_back(source_rtx(n, c, opt.seed, n_runs, duration, opt.jobs));
+    rep.row(std::move(row));
   }
+  bench::finish_report(rep);
   std::printf("\nexpected shape: source retransmissions drop sharply once "
               "the cache holds a feedback interval of traffic, then flatten.\n");
   return 0;

@@ -8,13 +8,13 @@
 // JTP's variable feedback should sit at-or-below the best constant rate on
 // energy while keeping queue drops near the minimum.
 #include <cstdio>
-#include <iostream>
 #include <vector>
 
 #include "bench_util.h"
 #include "exp/runner.h"
 #include "exp/scenario.h"
 #include "exp/workload.h"
+#include "sim/stats.h"
 
 using namespace jtp;
 
@@ -27,55 +27,71 @@ struct Outcome {
   double completion_s = 0;
 };
 
-Outcome run_case(core::FeedbackMode mode, double fb_rate, std::uint64_t seed,
-                 std::size_t n_runs, double duration,
-                 std::uint64_t long_flow_packets) {
-  Outcome out;
-  for (std::size_t r = 0; r < n_runs; ++r) {
-    exp::ScenarioConfig sc;
-    sc.seed = seed + 997 * (r + 1);
-    sc.proto = exp::Proto::kJtp;
-    sc.queue_capacity_packets = 25;
-    auto net = exp::make_linear(8, sc);
-    exp::FlowManager fm(*net, exp::Proto::kJtp);
+Outcome one_run(core::FeedbackMode mode, double fb_rate, std::uint64_t seed,
+                double duration, std::uint64_t long_flow_packets) {
+  exp::ScenarioConfig sc;
+  sc.seed = seed;
+  sc.proto = exp::Proto::kJtp;
+  sc.queue_capacity_packets = 25;
+  auto net = exp::make_linear(8, sc);
+  exp::FlowManager fm(*net, exp::Proto::kJtp);
 
-    // Fixed-size long transfer: every feedback configuration must deliver
-    // the same application data, so energy differences come from control
-    // overhead and congestion waste, not from "sending less".
-    exp::FlowOptions long_opt;
-    long_opt.feedback_mode = mode;
-    long_opt.constant_feedback_rate_pps = fb_rate;
-    auto& long_flow = fm.create(0, 7, long_flow_packets, 0.0, long_opt);
+  // Fixed-size long transfer: every feedback configuration must deliver
+  // the same application data, so energy differences come from control
+  // overhead and congestion waste, not from "sending less".
+  exp::FlowOptions long_opt;
+  long_opt.feedback_mode = mode;
+  long_opt.constant_feedback_rate_pps = fb_rate;
+  auto& long_flow = fm.create(0, 7, long_flow_packets, 0.0, long_opt);
 
-    // Short-lived cross traffic: a 60-packet transfer between mid-path
-    // neighbors every ~120 s, bursty enough to congest the chain.
-    sim::Rng arrivals = net->rng().derive("short-flows");
-    double t = 50.0;
-    int idx = 0;
-    while (t < duration - 60.0) {
-      exp::FlowOptions short_opt;
-      short_opt.feedback_mode = mode;
-      short_opt.constant_feedback_rate_pps = fb_rate;
-      short_opt.initial_rate_pps = 2.0;
-      const core::NodeId src = 2 + (idx % 3);  // 2..4
-      fm.create(src, src + 2, 60, t, short_opt);
-      t += arrivals.exponential(120.0);
-      ++idx;
-    }
-    // Run until the long transfer completes (bounded by 3x the horizon).
-    double now = 0.0;
-    while (!long_flow.finished() && now < 3.0 * duration) {
-      now += 50.0;
-      net->run_until(now);
-    }
-    net->run_until(now + 10.0);  // drain in-flight ACKs
-    const auto m = fm.collect(now + 10.0);
-    out.energy_mj += m.total_energy_j * 1e3 / n_runs;
-    out.queue_drops += static_cast<double>(m.queue_drops) / n_runs;
-    out.acks += static_cast<double>(m.acks_sent) / n_runs;
-    out.completion_s += now / n_runs;
+  // Short-lived cross traffic: a 60-packet transfer between mid-path
+  // neighbors every ~120 s, bursty enough to congest the chain.
+  sim::Rng arrivals = net->rng().derive("short-flows");
+  double t = 50.0;
+  int idx = 0;
+  while (t < duration - 60.0) {
+    exp::FlowOptions short_opt;
+    short_opt.feedback_mode = mode;
+    short_opt.constant_feedback_rate_pps = fb_rate;
+    short_opt.initial_rate_pps = 2.0;
+    const core::NodeId src = 2 + (idx % 3);  // 2..4
+    fm.create(src, src + 2, 60, t, short_opt);
+    t += arrivals.exponential(120.0);
+    ++idx;
   }
-  return out;
+  // Run until the long transfer completes (bounded by 3x the horizon).
+  double now = 0.0;
+  while (!long_flow.finished() && now < 3.0 * duration) {
+    now += 50.0;
+    net->run_until(now);
+  }
+  net->run_until(now + 10.0);  // drain in-flight ACKs
+  const auto m = fm.collect(now + 10.0);
+  return Outcome{m.total_energy_j * 1e3,
+                 static_cast<double>(m.queue_drops),
+                 static_cast<double>(m.acks_sent), now};
+}
+
+struct Row {
+  exp::Aggregate energy, drops, acks, done;
+};
+
+Row run_case(core::FeedbackMode mode, double fb_rate, std::uint64_t seed,
+             std::size_t n_runs, double duration,
+             std::uint64_t long_flow_packets, std::size_t jobs) {
+  auto runs = exp::run_seeds_as(
+      n_runs, seed,
+      [&](std::uint64_t s) {
+        return one_run(mode, fb_rate, s, duration, long_flow_packets);
+      },
+      jobs);
+  auto agg = [&](double Outcome::*field) {
+    sim::Summary sum;
+    for (const auto& r : runs) sum.add(r.*field);
+    return exp::Aggregate{sum.mean(), sum.ci95_halfwidth(), sum.count()};
+  };
+  return Row{agg(&Outcome::energy_mj), agg(&Outcome::queue_drops),
+             agg(&Outcome::acks), agg(&Outcome::completion_s)};
 }
 
 }  // namespace
@@ -90,23 +106,25 @@ int main(int argc, char** argv) {
               "%.0f s, %zu runs\n\n", duration, n_runs);
 
   const std::uint64_t k = opt.full ? 1200 : 600;
-  exp::TablePrinter tp(
-      {"feedback", "energy(mJ)", "queueDrops", "acks", "done(s)"}, 13);
-  tp.header(std::cout);
+  auto rep = bench::make_report(opt, "",
+                                {{"feedback", 1},
+                                 {"energy_mj", 1, true},
+                                 {"queue_drops", 1, true},
+                                 {"acks", 0, true},
+                                 {"done_s", 0, true}},
+                                16);
+  rep.begin();
   for (double rate : {0.05, 0.1, 0.2, 0.3, 0.5}) {
     const auto o = run_case(core::FeedbackMode::kConstant, rate, opt.seed,
-                            n_runs, duration, k);
+                            n_runs, duration, k, opt.jobs);
     char label[32];
     std::snprintf(label, sizeof label, "const %.2f", rate);
-    tp.row(std::cout, {std::string(label), exp::fmt(o.energy_mj, 1),
-                       exp::fmt(o.queue_drops, 1), exp::fmt(o.acks, 0),
-                       exp::fmt(o.completion_s, 0)});
+    rep.row({std::string(label), o.energy, o.drops, o.acks, o.done});
   }
   const auto v = run_case(core::FeedbackMode::kVariable, 0.0, opt.seed,
-                          n_runs, duration, k);
-  tp.row(std::cout, {std::string("variable"), exp::fmt(v.energy_mj, 1),
-                     exp::fmt(v.queue_drops, 1), exp::fmt(v.acks, 0),
-                     exp::fmt(v.completion_s, 0)});
+                          n_runs, duration, k, opt.jobs);
+  rep.row({"variable", v.energy, v.drops, v.acks, v.done});
+  bench::finish_report(rep);
 
   std::printf("\nexpected shape: energy grows with constant feedback rate; "
               "queue drops grow as it shrinks; variable feedback achieves "

@@ -5,15 +5,15 @@
 // Printed: (a) instantaneous throughput of both flows around the
 // transient; (b) flow 1's path-monitor trace (reported sample, mean,
 // control limits) showing the agile filter catching the change.
+#include <algorithm>
 #include <cstdio>
-#include <iostream>
 #include <vector>
 
 #include "bench_util.h"
+#include "exp/runner.h"
 #include "exp/scenario.h"
 #include "exp/workload.h"
 #include "sim/stats.h"
-#include "sim/trace.h"
 
 using namespace jtp;
 
@@ -70,12 +70,15 @@ int main(int argc, char** argv) {
 
   net->run_until(duration);
 
-  std::printf("--- (a) instantaneous throughput (10 s buckets) ---\n");
+  auto rep = bench::make_report(
+      opt, "(a) instantaneous throughput (10 s buckets)",
+      {{"time_s", 0}, {"flow1_pps", 2}, {"flow2_pps", 2}}, 12, "throughput");
+  rep.begin();
   const auto r1 = rx1.bucket_rate(duration, 10.0);
   const auto r2 = rx2.bucket_rate(duration, 10.0);
-  std::printf("%8s %12s %12s\n", "time(s)", "flow1(pps)", "flow2(pps)");
-  for (std::size_t i = 0; i < r1.size(); i += 5)
-    std::printf("%8.0f %12.2f %12.2f\n", r1[i].t, r1[i].v, r2[i].v);
+  for (std::size_t i = 0; i < r1.size(); ++i)
+    rep.row({r1[i].t, r1[i].v, r2[i].v}, /*echo=*/i % 5 == 0);
+  bench::finish_report(rep);
 
   // Fairness during the overlap window.
   const double b1 = rx1.sum_in_window(t_end2, t_end2 - t_start2 - 50.0);
@@ -84,22 +87,26 @@ int main(int argc, char** argv) {
               "(ratio %.2f; ~1 = fair convergence)\n",
               b1, b2, b1 / std::max(1.0, b2));
 
-  std::printf("\n--- (b) flow1 path-monitor trace around flow2 arrival ---\n");
-  std::printf("%8s %10s %10s %10s %10s %10s\n", "time(s)", "reported",
-              "mean", "UCL", "LCL", "advRate");
+  std::printf("\n");
+  auto repm = bench::make_report(
+      opt, "(b) flow1 path-monitor trace around flow2 arrival",
+      {{"t", 0},
+       {"reported", 3},
+       {"mean", 3},
+       {"ucl", 3},
+       {"lcl", 3},
+       {"advertised", 3}},
+      10, "monitor");
+  repm.begin();
+  std::printf("(stdout shows the windows around the transient; the CSV has "
+              "the full trace)\n");
   for (const auto& s : mon) {
-    if ((s.t >= 990 && s.t <= 1030) || (s.t >= 1245 && s.t <= 1270)) {
-      std::printf("%8.0f %10.3f %10.3f %10.3f %10.3f %10.3f\n", s.t,
-                  s.reported, s.mean, s.ucl, s.lcl, s.advertised);
-    }
+    const bool in_window =
+        (s.t >= 990 && s.t <= 1030) || (s.t >= 1245 && s.t <= 1270);
+    repm.row({s.t, s.reported, s.mean, s.ucl, s.lcl, s.advertised},
+             /*echo=*/in_window);
   }
-  if (!opt.csv_path.empty()) {
-    sim::CsvWriter csv(opt.csv_path,
-                       {"t", "reported", "mean", "ucl", "lcl", "advertised"});
-    for (const auto& s : mon)
-      csv.row({s.t, s.reported, s.mean, s.ucl, s.lcl, s.advertised});
-    std::printf("\nfull monitor trace written to %s\n", opt.csv_path.c_str());
-  }
+  bench::finish_report(repm);
   std::printf("\nexpected shape: flow1's rate halves while flow2 is active "
               "and recovers after it leaves; the monitor mean catches the "
               "reported drop quickly (agile filter).\n");

@@ -8,7 +8,6 @@
 // Expected shape: JTP lowest energy/bit at every size, with ATP ~2x and
 // TCP ~5x JTP by the longest paths; JTP also highest goodput.
 #include <cstdio>
-#include <iostream>
 #include <vector>
 
 #include "bench_util.h"
@@ -44,33 +43,41 @@ int main(int argc, char** argv) {
   std::printf("=== Figure 9: linear topologies, JTP vs ATP vs TCP-SACK ===\n");
   std::printf("2 competing flows, Gilbert links (10%% bad / 3 s), %.0f s, "
               "%zu runs, 95%% CI\n\n", duration, n_runs);
+  std::printf("E/b = energy per delivered bit (uJ/bit)\n");
 
   const std::vector<exp::Proto> protos = {exp::Proto::kJtp, exp::Proto::kAtp,
                                           exp::Proto::kTcp};
-  exp::TablePrinter tp({"netSize", "jtp E/b", "atp E/b", "tcp E/b",
-                        "jtp kbps", "atp kbps", "tcp kbps"}, 15);
-  std::printf("E/b = energy per delivered bit (uJ/bit)\n");
-  tp.header(std::cout);
+  auto rep = bench::make_report(opt, "",
+                                {{"net_size", 0},
+                                 {"jtp_uj_per_bit", 1, true},
+                                 {"atp_uj_per_bit", 1, true},
+                                 {"tcp_uj_per_bit", 1, true},
+                                 {"jtp_kbps", 3, true},
+                                 {"atp_kbps", 3, true},
+                                 {"tcp_kbps", 3, true}},
+                                15);
+  rep.begin();
 
   for (std::size_t n : {2, 3, 4, 5, 6, 7, 8, 9, 10}) {
-    std::vector<std::string> row{std::to_string(n)};
-    std::vector<std::string> goodput_cells;
+    std::vector<sim::Cell> row{n};
+    std::vector<sim::Cell> goodput_cells;
     for (const auto proto : protos) {
-      auto runs = exp::run_seeds(n_runs, opt.seed, [&](std::uint64_t s) {
-        return one_run(n, proto, s, duration);
-      });
-      const auto e = exp::aggregate(runs, [](const exp::RunMetrics& m) {
+      auto runs = exp::run_seeds(
+          n_runs, opt.seed,
+          [&](std::uint64_t s) { return one_run(n, proto, s, duration); },
+          opt.jobs);
+      row.push_back(exp::aggregate(runs, [](const exp::RunMetrics& m) {
         return m.energy_per_bit_uj();
-      });
-      const auto g = exp::aggregate(runs, [](const exp::RunMetrics& m) {
-        return m.per_flow_goodput_kbps_mean;
-      });
-      row.push_back(exp::with_ci(e, 1));
-      goodput_cells.push_back(exp::with_ci(g, 3));
+      }));
+      goodput_cells.push_back(
+          exp::aggregate(runs, [](const exp::RunMetrics& m) {
+            return m.per_flow_goodput_kbps_mean;
+          }));
     }
     row.insert(row.end(), goodput_cells.begin(), goodput_cells.end());
-    tp.row(std::cout, row);
+    rep.row(std::move(row));
   }
+  bench::finish_report(rep);
   std::printf("\nexpected shape: jtp < atp < tcp on energy/bit (gap grows "
               "with path length); jtp highest goodput.\n");
   return 0;

@@ -5,7 +5,6 @@
 // run under identical conditions in each run (same placement, same flow
 // endpoints, same seeds), as the paper requires for comparability.
 #include <cstdio>
-#include <iostream>
 #include <vector>
 
 #include "bench_util.h"
@@ -54,32 +53,40 @@ int main(int argc, char** argv) {
   std::printf("=== Figure 10: static random topologies ===\n");
   std::printf("5 random flows, %.0f s, %zu runs, 95%% CI\n\n", duration,
               n_runs);
-
-  exp::TablePrinter tp({"netSize", "jtp E/b", "atp E/b", "tcp E/b",
-                        "jtp kbps", "atp kbps", "tcp kbps"}, 15);
   std::printf("E/b = energy per delivered bit (uJ/bit)\n");
-  tp.header(std::cout);
+
+  auto rep = bench::make_report(opt, "",
+                                {{"net_size", 0},
+                                 {"jtp_uj_per_bit", 1, true},
+                                 {"atp_uj_per_bit", 1, true},
+                                 {"tcp_uj_per_bit", 1, true},
+                                 {"jtp_kbps", 3, true},
+                                 {"atp_kbps", 3, true},
+                                 {"tcp_kbps", 3, true}},
+                                15);
+  rep.begin();
 
   for (std::size_t n : {10, 15, 20, 25}) {
-    std::vector<std::string> row{std::to_string(n)};
-    std::vector<std::string> goodput_cells;
+    std::vector<sim::Cell> row{n};
+    std::vector<sim::Cell> goodput_cells;
     for (const auto proto :
          {exp::Proto::kJtp, exp::Proto::kAtp, exp::Proto::kTcp}) {
-      auto runs = exp::run_seeds(n_runs, opt.seed, [&](std::uint64_t s) {
-        return one_run(n, proto, s, duration);
-      });
-      const auto e = exp::aggregate(runs, [](const exp::RunMetrics& m) {
+      auto runs = exp::run_seeds(
+          n_runs, opt.seed,
+          [&](std::uint64_t s) { return one_run(n, proto, s, duration); },
+          opt.jobs);
+      row.push_back(exp::aggregate(runs, [](const exp::RunMetrics& m) {
         return m.energy_per_bit_uj();
-      });
-      const auto g = exp::aggregate(runs, [](const exp::RunMetrics& m) {
-        return m.per_flow_goodput_kbps_mean;
-      });
-      row.push_back(exp::with_ci(e, 1));
-      goodput_cells.push_back(exp::with_ci(g, 3));
+      }));
+      goodput_cells.push_back(
+          exp::aggregate(runs, [](const exp::RunMetrics& m) {
+            return m.per_flow_goodput_kbps_mean;
+          }));
     }
     row.insert(row.end(), goodput_cells.begin(), goodput_cells.end());
-    tp.row(std::cout, row);
+    rep.row(std::move(row));
   }
+  bench::finish_report(rep);
   std::printf("\nexpected shape: jtp outperforms atp and tcp in both "
               "metrics across all sizes.\n");
   return 0;

@@ -6,7 +6,6 @@
 //     recovered packets (cache hits) for JTP, normalized by delivered data
 //     — showing caches stay useful even while paths churn.
 #include <cstdio>
-#include <iostream>
 #include <vector>
 
 #include "bench_util.h"
@@ -54,33 +53,41 @@ int main(int argc, char** argv) {
 
   std::printf("=== Figure 11: mobility (random waypoint, 15 nodes) ===\n");
   std::printf("5 random flows, %.0f s, %zu runs\n\n", duration, n_runs);
-
-  exp::TablePrinter tp({"speed", "jtp E/b", "atp E/b", "tcp E/b",
-                        "jtp kbps", "atp kbps", "tcp kbps"}, 15);
   std::printf("E/b = energy per delivered bit (uJ/bit)\n");
-  tp.header(std::cout);
+
+  auto rep = bench::make_report(opt, "",
+                                {{"speed_mps", 1},
+                                 {"jtp_uj_per_bit", 1, true},
+                                 {"atp_uj_per_bit", 1, true},
+                                 {"tcp_uj_per_bit", 1, true},
+                                 {"jtp_kbps", 3, true},
+                                 {"atp_kbps", 3, true},
+                                 {"tcp_kbps", 3, true}},
+                                15);
+  rep.begin();
 
   struct CachePoint {
-    double speed, src_rtx, cache_hits;
+    double speed;
+    exp::Aggregate src_rtx, cache_hits;
   };
   std::vector<CachePoint> cache_points;
 
   for (double speed : {0.1, 1.0, 5.0}) {
-    std::vector<std::string> row{exp::fmt(speed, 1)};
-    std::vector<std::string> goodput_cells;
+    std::vector<sim::Cell> row{speed};
+    std::vector<sim::Cell> goodput_cells;
     for (const auto proto :
          {exp::Proto::kJtp, exp::Proto::kAtp, exp::Proto::kTcp}) {
-      auto runs = exp::run_seeds(n_runs, opt.seed, [&](std::uint64_t s) {
-        return one_run(speed, proto, s, duration);
-      });
-      const auto e = exp::aggregate(runs, [](const exp::RunMetrics& m) {
+      auto runs = exp::run_seeds(
+          n_runs, opt.seed,
+          [&](std::uint64_t s) { return one_run(speed, proto, s, duration); },
+          opt.jobs);
+      row.push_back(exp::aggregate(runs, [](const exp::RunMetrics& m) {
         return m.energy_per_bit_uj();
-      });
-      const auto g = exp::aggregate(runs, [](const exp::RunMetrics& m) {
-        return m.per_flow_goodput_kbps_mean;
-      });
-      row.push_back(exp::with_ci(e, 1));
-      goodput_cells.push_back(exp::with_ci(g, 3));
+      }));
+      goodput_cells.push_back(
+          exp::aggregate(runs, [](const exp::RunMetrics& m) {
+            return m.per_flow_goodput_kbps_mean;
+          }));
       if (proto == exp::Proto::kJtp) {
         const auto rtx = exp::aggregate(runs, [](const exp::RunMetrics& m) {
           return m.delivered_packets
@@ -94,18 +101,24 @@ int main(int argc, char** argv) {
                            static_cast<double>(m.delivered_packets)
                      : 0.0;
         });
-        cache_points.push_back({speed, rtx.mean, hits.mean});
+        cache_points.push_back({speed, rtx, hits});
       }
     }
     row.insert(row.end(), goodput_cells.begin(), goodput_cells.end());
-    tp.row(std::cout, row);
+    rep.row(std::move(row));
   }
+  bench::finish_report(rep);
 
-  std::printf("\n--- (c) end-to-end vs locally recovered packets (JTP), "
-              "normalized by delivered data ---\n");
-  std::printf("%8s %12s %12s\n", "speed", "source rtx", "cache hits");
+  std::printf("\n");
+  auto repc = bench::make_report(
+      opt, "(c) end-to-end vs locally recovered packets (JTP), normalized "
+           "by delivered data",
+      {{"speed_mps", 1}, {"source_rtx", 4, true}, {"cache_hits", 4, true}},
+      16, "cache");
+  repc.begin();
   for (const auto& p : cache_points)
-    std::printf("%8.1f %12.4f %12.4f\n", p.speed, p.src_rtx, p.cache_hits);
+    repc.row({p.speed, p.src_rtx, p.cache_hits});
+  bench::finish_report(repc);
 
   std::printf("\nexpected shape: energy/bit rises with speed for all; jtp "
               "stays lowest; cache hits remain a large share of recoveries "

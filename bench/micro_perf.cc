@@ -1,6 +1,14 @@
 // google-benchmark micro-benchmarks of the hot per-packet paths: event
 // queue, LRU cache, path monitor, reliability math, TDMA slot lookup.
+//
+// Accepts the suite-wide --csv PATH and --jobs N flags (translated to
+// --benchmark_out=PATH in CSV format / ignored, since the kernels are
+// single-threaded) alongside google-benchmark's own CLI.
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "core/cache.h"
 #include "core/path_monitor.h"
@@ -102,4 +110,27 @@ BENCHMARK(BM_TdmaNextOwnedSlot)->Arg(8)->Arg(25);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Translate the shared bench flags into google-benchmark's before its
+  // parser (which aborts on flags it does not know) sees them.
+  std::vector<std::string> args{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
+      args.push_back(std::string("--benchmark_out=") + argv[++i]);
+      args.push_back("--benchmark_out_format=csv");
+    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      ++i;  // kernels are single-threaded; accepted for suite uniformity
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  std::vector<char*> cargs;
+  cargs.reserve(args.size());
+  for (auto& a : args) cargs.push_back(a.data());
+  int cargc = static_cast<int>(cargs.size());
+  benchmark::Initialize(&cargc, cargs.data());
+  if (benchmark::ReportUnrecognizedArguments(cargc, cargs.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

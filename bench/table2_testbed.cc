@@ -10,7 +10,6 @@
 // Substitution (see DESIGN.md): the same simulator configured with
 // fading disabled and low residual loss reproduces the testbed's regime.
 #include <cstdio>
-#include <iostream>
 #include <vector>
 
 #include "bench_util.h"
@@ -60,24 +59,27 @@ int main(int argc, char** argv) {
               "(400 s interarrival, 100 KB transfers), 30 min, %zu runs\n\n",
               n_runs);
 
-  exp::TablePrinter tp({"protocol", "E/bit (mJ)", "goodput (kbps)"}, 22);
-  tp.header(std::cout);
+  auto rep = bench::make_report(
+      opt, "",
+      {{"protocol", 0}, {"e_per_bit_mj", 5, true}, {"goodput_kbps", 3, true}},
+      22);
+  rep.begin();
   for (const auto& [proto, name] :
        {std::pair{exp::Proto::kJtp, "JTP"}, {exp::Proto::kAtp, "ATP"},
         {exp::Proto::kTcp, "TCP"}}) {
-    auto runs = exp::run_seeds(n_runs, opt.seed, [&, p = proto](
-                                                     std::uint64_t s) {
-      return one_run(p, s, duration);
-    });
+    auto runs = exp::run_seeds(
+        n_runs, opt.seed,
+        [&, p = proto](std::uint64_t s) { return one_run(p, s, duration); },
+        opt.jobs);
     const auto e = exp::aggregate(runs, [](const exp::RunMetrics& m) {
       return m.energy_per_bit_mj();
     });
     const auto g = exp::aggregate(runs, [](const exp::RunMetrics& m) {
       return m.per_flow_goodput_kbps_mean;
     });
-    tp.row(std::cout, {std::string(name), exp::with_ci(e, 5),
-                       exp::with_ci(g, 3)});
+    rep.row({name, e, g});
   }
+  bench::finish_report(rep);
   std::printf("\npaper's testbed values for reference: JTP 0.0054 mJ/bit "
               "0.63 kbps; ATP 0.0068 / 0.44; TCP 0.0105 / 0.17.\n");
   std::printf("expected shape: JTP best on both metrics; TCP's goodput gap "

@@ -1,0 +1,107 @@
+// Tests for the shared bench flag parser and CSV path helpers.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "bench_util.h"
+
+namespace jtp::bench {
+namespace {
+
+ParseResult parse(std::vector<const char*> args) {
+  args.insert(args.begin(), "bench");
+  return parse_args(static_cast<int>(args.size()),
+                    const_cast<char**>(args.data()));
+}
+
+TEST(ParseArgs, Defaults) {
+  const auto r = parse({});
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r.options.full);
+  EXPECT_EQ(r.options.seed, 1u);
+  EXPECT_FALSE(r.options.runs.has_value());
+  EXPECT_TRUE(r.options.csv_path.empty());
+  EXPECT_EQ(r.options.jobs, 0u);
+}
+
+TEST(ParseArgs, AllFlags) {
+  const auto r =
+      parse({"--full", "--seed", "42", "--runs", "7", "--jobs", "3", "--csv",
+             "out.csv"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.options.full);
+  EXPECT_EQ(r.options.seed, 42u);
+  EXPECT_EQ(r.options.runs, std::optional<std::size_t>(7));
+  EXPECT_EQ(r.options.jobs, 3u);
+  EXPECT_EQ(r.options.csv_path, "out.csv");
+}
+
+TEST(ParseArgs, HelpRequested) {
+  EXPECT_TRUE(parse({"--help"}).help);
+  EXPECT_TRUE(parse({"-h"}).help);
+}
+
+TEST(ParseArgs, UnknownFlagIsError) {
+  const auto r = parse({"--bogus"});
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("--bogus"), std::string::npos);
+}
+
+TEST(ParseArgs, MissingValueIsError) {
+  EXPECT_FALSE(parse({"--seed"}).ok());
+  EXPECT_FALSE(parse({"--runs"}).ok());
+  EXPECT_FALSE(parse({"--jobs"}).ok());
+  EXPECT_FALSE(parse({"--csv"}).ok());
+}
+
+TEST(ParseArgs, NonNumericValueIsError) {
+  EXPECT_FALSE(parse({"--seed", "abc"}).ok());
+  EXPECT_FALSE(parse({"--runs", "3x"}).ok());
+  EXPECT_FALSE(parse({"--jobs", ""}).ok());
+}
+
+TEST(ParseArgs, NegativeValueIsError) {
+  // strtoull would silently wrap "-1" to 2^64-1 (and then e.g.
+  // vector(n_runs) aborts); the parser must reject the sign up front.
+  EXPECT_FALSE(parse({"--runs", "-1"}).ok());
+  EXPECT_FALSE(parse({"--seed", "-7"}).ok());
+  EXPECT_FALSE(parse({"--jobs", "-4"}).ok());
+  EXPECT_FALSE(parse({"--runs", "+3"}).ok());
+  EXPECT_FALSE(parse({"--runs", " 3"}).ok());
+}
+
+TEST(ParseArgs, ZeroRunsIsError) {
+  EXPECT_FALSE(parse({"--runs", "0"}).ok());
+}
+
+TEST(ParseArgs, PositionalArgumentIsError) {
+  EXPECT_FALSE(parse({"quick"}).ok());
+}
+
+TEST(Options, PickRunsPrecedence) {
+  Options o;
+  EXPECT_EQ(o.pick_runs(3, 20), 3u);
+  o.full = true;
+  EXPECT_EQ(o.pick_runs(3, 20), 20u);
+  o.runs = 7;
+  EXPECT_EQ(o.pick_runs(3, 20), 7u);  // --runs wins over --full
+}
+
+TEST(CsvSectionPath, InsertsBeforeExtension) {
+  EXPECT_EQ(csv_section_path("out.csv", "a"), "out.a.csv");
+  EXPECT_EQ(csv_section_path("dir/out.csv", "b"), "dir/out.b.csv");
+}
+
+TEST(CsvSectionPath, EmptySectionKeepsBase) {
+  EXPECT_EQ(csv_section_path("out.csv", ""), "out.csv");
+}
+
+TEST(CsvSectionPath, NoExtensionAppends) {
+  EXPECT_EQ(csv_section_path("out", "a"), "out.a");
+  // A dot in a directory name is not an extension.
+  EXPECT_EQ(csv_section_path("some.dir/out", "a"), "some.dir/out.a");
+}
+
+}  // namespace
+}  // namespace jtp::bench

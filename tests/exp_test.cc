@@ -1,6 +1,12 @@
 // Tests for the experiment harness: scenarios, workloads, runner, metrics.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
 #include "exp/runner.h"
 #include "exp/scenario.h"
 #include "exp/workload.h"
@@ -136,6 +142,130 @@ TEST(Runner, FormatHelpers) {
   const auto s = with_ci(a, 1);
   EXPECT_NE(s.find("2.5"), std::string::npos);
   EXPECT_NE(s.find("0.5"), std::string::npos);
+}
+
+TEST(Runner, SeedForRunIsOrderIndependent) {
+  EXPECT_EQ(seed_for_run(1, 0), 1001u);
+  EXPECT_EQ(seed_for_run(1, 3), 4001u);
+  // The same derivation the serial runner has always used.
+  std::vector<std::uint64_t> seen;
+  run_seeds(3, 7, [&](std::uint64_t s) {
+    seen.push_back(s);
+    return RunMetrics{};
+  });
+  ASSERT_EQ(seen.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(seen[i], seed_for_run(7, i));
+}
+
+TEST(Runner, ResolveJobs) {
+  EXPECT_EQ(resolve_jobs(3), 3u);
+  EXPECT_GE(resolve_jobs(0), 1u);  // auto: at least one job
+}
+
+// The headline property of the parallel runner: any job count produces the
+// exact RunMetrics vector of a serial run, element by element, on a real
+// lossy scenario.
+TEST(Runner, ParallelMatchesSerialOnRealScenario) {
+  auto body = [](std::uint64_t s) {
+    ScenarioConfig sc;
+    sc.seed = s;
+    sc.proto = Proto::kJtp;
+    sc.loss_good = 0.05;
+    auto net = make_linear(4, sc);
+    FlowManager fm(*net, Proto::kJtp);
+    fm.create(0, 3, 0);
+    net->run_until(300.0);
+    return fm.collect(300.0);
+  };
+  const auto serial = run_seeds(6, 9, body, /*jobs=*/1);
+  const auto parallel = run_seeds(6, 9, body, /*jobs=*/4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_DOUBLE_EQ(serial[i].total_energy_j, parallel[i].total_energy_j);
+    EXPECT_DOUBLE_EQ(serial[i].delivered_payload_bits,
+                     parallel[i].delivered_payload_bits);
+    EXPECT_EQ(serial[i].delivered_packets, parallel[i].delivered_packets);
+    EXPECT_EQ(serial[i].data_packets_sent, parallel[i].data_packets_sent);
+    EXPECT_EQ(serial[i].source_retransmissions,
+              parallel[i].source_retransmissions);
+    EXPECT_EQ(serial[i].cache_retransmissions,
+              parallel[i].cache_retransmissions);
+    EXPECT_EQ(serial[i].acks_sent, parallel[i].acks_sent);
+    EXPECT_EQ(serial[i].transmissions, parallel[i].transmissions);
+    EXPECT_EQ(serial[i].per_node_energy_j, parallel[i].per_node_energy_j);
+  }
+}
+
+TEST(Runner, RunSeedsAsCustomTypeKeepsSeedOrder) {
+  auto out = run_seeds_as(
+      8, 100, [](std::uint64_t s) { return s * 2; }, /*jobs=*/4);
+  ASSERT_EQ(out.size(), 8u);
+  for (std::size_t i = 0; i < 8; ++i)
+    EXPECT_EQ(out[i], seed_for_run(100, i) * 2);
+}
+
+TEST(Runner, ParallelRunsAllIndices) {
+  std::atomic<int> calls{0};
+  run_seeds_as(
+      16, 1,
+      [&](std::uint64_t) {
+        calls.fetch_add(1);
+        return 0;
+      },
+      /*jobs=*/4);
+  EXPECT_EQ(calls.load(), 16);
+}
+
+TEST(Runner, ParallelPropagatesExceptions) {
+  auto boom = [](std::uint64_t s) -> RunMetrics {
+    if (s == seed_for_run(1, 2)) throw std::runtime_error("boom");
+    return RunMetrics{};
+  };
+  EXPECT_THROW(run_seeds(8, 1, boom, /*jobs=*/4), std::runtime_error);
+  EXPECT_THROW(run_seeds(8, 1, boom, /*jobs=*/1), std::runtime_error);
+}
+
+TEST(Report, PrintsTableAndMirrorsCsv) {
+  const std::string path = ::testing::TempDir() + "exp_test_report.csv";
+  std::ostringstream os;
+  {
+    Report rep(os, "demo", {{"n", 0}, {"e", 2, /*with_ci=*/true}}, 10);
+    ASSERT_TRUE(rep.to_csv(path));
+    rep.begin();
+    rep.row({3, Aggregate{1.5, 0.25, 4}});
+    rep.row({4, 2.0}, /*echo=*/false);  // CSV-only row
+    EXPECT_TRUE(rep.finish());
+    EXPECT_EQ(rep.series().rows().size(), 2u);
+  }
+  const std::string table = os.str();
+  EXPECT_NE(table.find("--- demo ---"), std::string::npos);
+  EXPECT_NE(table.find("1.50 ±0.25"), std::string::npos);
+  EXPECT_EQ(table.find("2.00"), std::string::npos);  // echo=false not printed
+  EXPECT_NE(table.find(path), std::string::npos);    // "written to" note
+
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(buf.str(),
+            "n,e,e_ci95\n"
+            "3,1.50,0.25\n"
+            "4,2.00,0.00\n");
+  std::remove(path.c_str());
+}
+
+TEST(Report, ToCsvFailsFastOnBadPath) {
+  std::ostringstream os;
+  Report rep(os, "", {{"a", 1}}, 10);
+  EXPECT_FALSE(rep.to_csv("/nonexistent-dir/x/y.csv"));
+}
+
+TEST(Report, WorksWithoutCsv) {
+  std::ostringstream os;
+  Report rep(os, "", {{"a", 1}}, 10);
+  rep.begin();
+  rep.row({1.0});
+  EXPECT_TRUE(rep.finish());
+  EXPECT_EQ(os.str().find("written to"), std::string::npos);
 }
 
 // Property: the same seed gives bit-identical metrics for every protocol

@@ -1,0 +1,165 @@
+#!/usr/bin/env python3
+"""Tolerance-band comparison of bench CSVs against committed baselines.
+
+The bench binaries are deterministic for a fixed seed, but floating-point
+results may drift across compilers, libms, and FMA contraction choices, and
+genuinely stochastic series (anything averaged over seeds) should be judged
+by statistical closeness, not bit equality. This checker therefore enforces:
+
+  * identical headers (column names, in order) and identical row counts;
+  * text cells equal exactly;
+  * a numeric cell passes if
+      |a - b| <= abs_tol + rel_tol * max(|a|, |b|)
+    or, when the column has a `<name>_ci95` sibling, if
+      |a - b| <= ci_mult * (ci_a + ci_b)
+    (both runs agree within their combined confidence intervals);
+  * `*_ci95` columns are noise estimates of noise and get the (wider)
+    --ci-rel-tol band instead of --rel-tol.
+
+Exit status: 0 when every compared file passes, 1 on any mismatch, 2 on
+usage errors. Use --baseline-dir/--candidate-dir to compare a whole suite:
+every baseline *.csv must exist and pass on the candidate side (extra
+candidate files are reported but do not fail the run).
+"""
+
+import argparse
+import csv
+import glob
+import os
+import sys
+
+
+def is_number(s):
+    try:
+        float(s)
+        return True
+    except ValueError:
+        return False
+
+
+def compare_file(base_path, cand_path, opts):
+    """Returns a list of human-readable mismatch strings (empty = pass)."""
+    errors = []
+    try:
+        with open(base_path, newline="") as f:
+            base = list(csv.reader(f))
+    except OSError as e:
+        return [f"cannot read baseline: {e}"]
+    try:
+        with open(cand_path, newline="") as f:
+            cand = list(csv.reader(f))
+    except OSError as e:
+        return [f"cannot read candidate: {e}"]
+
+    if not base or not base[0]:
+        return ["baseline is empty"]
+    if not cand or not cand[0]:
+        return ["candidate is empty"]
+
+    header, cand_header = base[0], cand[0]
+    if header != cand_header:
+        return [f"header mismatch: baseline {header} vs candidate {cand_header}"]
+    if len(base) != len(cand):
+        return [f"row count mismatch: baseline {len(base) - 1} vs "
+                f"candidate {len(cand) - 1} data rows"]
+
+    ci_col = {}  # data column index -> its _ci95 sibling index
+    for i, name in enumerate(header):
+        if not name.endswith("_ci95") and (name + "_ci95") in header:
+            ci_col[i] = header.index(name + "_ci95")
+
+    for r, (brow, crow) in enumerate(zip(base[1:], cand[1:]), start=2):
+        if len(brow) != len(header) or len(crow) != len(header):
+            errors.append(f"row {r}: ragged row "
+                          f"({len(brow)} vs {len(crow)} cells, "
+                          f"{len(header)} columns)")
+            continue
+        for c, (b, a) in enumerate(zip(brow, crow)):
+            name = header[c]
+            if not (is_number(b) and is_number(a)):
+                if b != a:
+                    errors.append(f"row {r}, col '{name}': text cell "
+                                  f"'{b}' != '{a}'")
+                continue
+            fb, fa = float(b), float(a)
+            rel = opts.ci_rel_tol if name.endswith("_ci95") else opts.rel_tol
+            band = opts.abs_tol + rel * max(abs(fb), abs(fa))
+            diff = abs(fb - fa)
+            if diff <= band:
+                continue
+            if c in ci_col:
+                cb, ca = brow[ci_col[c]], crow[ci_col[c]]
+                if is_number(cb) and is_number(ca):
+                    ci_band = opts.ci_mult * (abs(float(cb)) + abs(float(ca)))
+                    if diff <= ci_band:
+                        continue
+            errors.append(f"row {r}, col '{name}': {fb} vs {fa} "
+                          f"(diff {diff:.6g} > band {band:.6g})")
+    return errors
+
+
+def main():
+    p = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    p.add_argument("baseline", nargs="?", help="baseline CSV file")
+    p.add_argument("candidate", nargs="?", help="candidate CSV file")
+    p.add_argument("--baseline-dir", help="directory of baseline *.csv files")
+    p.add_argument("--candidate-dir", help="directory of candidate CSV files")
+    p.add_argument("--rel-tol", type=float, default=0.05,
+                   help="relative tolerance for numeric cells (default 0.05)")
+    p.add_argument("--abs-tol", type=float, default=1e-6,
+                   help="absolute tolerance for numeric cells (default 1e-6)")
+    p.add_argument("--ci-mult", type=float, default=3.0,
+                   help="accept |a-b| <= ci-mult*(ci_a+ci_b) for columns "
+                        "with a _ci95 sibling (default 3.0)")
+    p.add_argument("--ci-rel-tol", type=float, default=0.75,
+                   help="relative tolerance for *_ci95 columns themselves "
+                        "(default 0.75; CIs of few runs are very noisy)")
+    opts = p.parse_args()
+
+    if bool(opts.baseline_dir) != bool(opts.candidate_dir):
+        p.error("--baseline-dir and --candidate-dir must be used together")
+    if opts.baseline_dir:
+        pairs = []
+        for base_path in sorted(glob.glob(os.path.join(opts.baseline_dir,
+                                                       "*.csv"))):
+            name = os.path.basename(base_path)
+            pairs.append((name, base_path,
+                          os.path.join(opts.candidate_dir, name)))
+        if not pairs:
+            print(f"error: no *.csv baselines in {opts.baseline_dir}",
+                  file=sys.stderr)
+            return 2
+        extra = (set(os.path.basename(f) for f in
+                     glob.glob(os.path.join(opts.candidate_dir, "*.csv"))) -
+                 set(name for name, _, _ in pairs))
+        for name in sorted(extra):
+            print(f"note: candidate file {name} has no baseline "
+                  f"(add it to {opts.baseline_dir}?)")
+    elif opts.baseline and opts.candidate:
+        pairs = [(os.path.basename(opts.baseline), opts.baseline,
+                  opts.candidate)]
+    else:
+        p.error("give BASELINE CANDIDATE files or both --*-dir options")
+
+    failed = 0
+    for name, base_path, cand_path in pairs:
+        errors = compare_file(base_path, cand_path, opts)
+        if errors:
+            failed += 1
+            print(f"FAIL {name}")
+            for e in errors[:20]:
+                print(f"  {e}")
+            if len(errors) > 20:
+                print(f"  ... and {len(errors) - 20} more")
+        else:
+            print(f"ok   {name}")
+    if failed:
+        print(f"{failed}/{len(pairs)} file(s) outside tolerance")
+        return 1
+    print(f"all {len(pairs)} file(s) within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

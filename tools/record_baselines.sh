@@ -1,0 +1,21 @@
+#!/usr/bin/env sh
+# Regenerates the committed regression baselines in bench/baselines/ by
+# running the canonical suite (tools/run_bench_suite.sh) and moving the
+# CSVs into place. Run from the repo root after a deliberate change to
+# bench outputs, then commit the diff.
+#
+# usage: record_baselines.sh [BENCH_BIN_DIR]
+set -eu
+
+BIN=${1:-build/bench}
+ROOT=$(dirname "$0")/..
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+"$(dirname "$0")/run_bench_suite.sh" "$BIN" "$TMP"
+
+mkdir -p "$ROOT/bench/baselines"
+rm -f "$ROOT/bench/baselines"/*.csv
+cp "$TMP"/*.csv "$ROOT/bench/baselines/"
+echo "baselines updated: $(ls "$ROOT/bench/baselines"/*.csv | wc -l) files"
+echo "review the diff and commit bench/baselines/"
