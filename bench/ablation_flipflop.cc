@@ -45,6 +45,14 @@ struct EndToEnd {
 
 int main(int argc, char** argv) {
   const auto opt = bench::parse_options(argc, argv);
+  bench::require_proto(opt, exp::Proto::kJtp,
+                       "this ablation targets JTP's path monitor");
+
+  // Base spec of the end-to-end comparison in (b): Fig. 8's quiet chain.
+  exp::ScenarioSpec base;
+  base.fading = false;
+  base.loss_good = 0.02;
+  bench::apply_scenario(opt, base);
 
   std::printf("=== Ablation: flip-flop filter vs stable-only EWMA ===\n\n");
   auto rep = bench::make_report(
@@ -88,23 +96,17 @@ int main(int argc, char** argv) {
     auto results = exp::run_seeds_as(
         runs, opt.seed,
         [&](std::uint64_t s) {
-          exp::ScenarioConfig sc;
-          sc.seed = s;
-          sc.proto = exp::Proto::kJtp;
-          sc.fading = false;
-          sc.loss_good = 0.02;
-          auto cfg = exp::make_network_config(sc);
-          auto topo = phy::Topology::linear(5, exp::kSpacingM, exp::kRangeM);
-          net::Network net(std::move(topo), cfg);
-          exp::FlowManager fm(net, exp::Proto::kJtp);
+          auto spec = base;
+          spec.seed = s;
+          auto scenario = exp::build(spec);
+          auto& net = *scenario.network;
+          auto& fm = *scenario.flows;
+          const auto last = static_cast<core::NodeId>(spec.net_size - 1);
           exp::FlowOptions fo;
           if (!flipflop) fo.monitor.alpha_agile = fo.monitor.alpha_stable;
-          fm.create(0, 4, 0, 0.0, fo);
-          auto& f2 = fm.create(0, 4, 0, 400.0, fo);
-          net.simulator().schedule(650.0, [&f2] {
-            f2.jtp.sender->stop();
-            f2.jtp.receiver->stop();
-          });
+          fm.create(0, last, 0, 0.0, fo);
+          auto& f2 = fm.create(0, last, 0, 400.0, fo);
+          net.simulator().schedule(650.0, [&f2] { f2.stop(); });
           net.run_until(1000.0);
           const auto m = fm.collect(1000.0);
           return EndToEnd{static_cast<double>(m.queue_drops),

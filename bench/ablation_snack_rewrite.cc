@@ -25,29 +25,29 @@ struct Row {
   exp::Aggregate cache_rtx, source_rtx, duplicates, energy_per_bit;
 };
 
-Row run_case(bool rewrite, std::uint64_t seed, std::size_t n_runs,
-             double duration, std::size_t jobs) {
+Row run_case(const exp::ScenarioSpec& base, bool rewrite, std::uint64_t seed,
+             std::size_t n_runs, double duration, std::size_t jobs) {
   auto runs = exp::run_seeds_as(
       n_runs, seed,
       [&](std::uint64_t s) {
-        exp::ScenarioConfig sc;
-        sc.seed = s;
-        sc.proto = exp::Proto::kJtp;
-        sc.loss_good = 0.10;
-        sc.loss_bad = 0.80;
-        sc.bad_fraction = 0.30;
-        auto cfg = exp::make_network_config(sc);
+        auto spec = base;
+        spec.seed = s;
+        // The rewrite switch is a NetworkConfig knob the spec language
+        // does not cover: build the network by hand from the spec parts.
+        auto cfg = exp::make_network_config(spec);
         cfg.node.ijtp.rewrite_locally_recovered = rewrite;
-        auto topo = phy::Topology::linear(7, exp::kSpacingM, exp::kRangeM);
-        net::Network net(std::move(topo), cfg);
-        exp::FlowManager fm(net, exp::Proto::kJtp);
-        auto& flow = fm.create(0, 6, 0);
+        net::Network net(exp::make_topology(spec), cfg);
+        exp::FlowManager fm(net, spec.proto);
+        const auto last = static_cast<core::NodeId>(spec.net_size - 1);
+        auto& flow = fm.create(0, last, 0);
         net.run_until(duration);
         const auto m = fm.collect(duration);
-        return Outcome{static_cast<double>(m.cache_retransmissions),
-                       static_cast<double>(m.source_retransmissions),
-                       static_cast<double>(flow.jtp.receiver->duplicates()),
-                       m.energy_per_bit_uj()};
+        return Outcome{
+            static_cast<double>(m.cache_retransmissions),
+            static_cast<double>(m.source_retransmissions),
+            static_cast<double>(
+                flow.receiver_as<core::EjtpReceiver>()->duplicates()),
+            m.energy_per_bit_uj()};
       },
       jobs);
   auto agg = [&](double Outcome::*field) {
@@ -63,15 +63,25 @@ Row run_case(bool rewrite, std::uint64_t seed, std::size_t n_runs,
 
 int main(int argc, char** argv) {
   const auto opt = bench::parse_options(argc, argv);
+  bench::require_proto(opt, exp::Proto::kJtp,
+                       "this ablation targets JTP's iJTP ACK rewrite");
   const std::size_t n_runs = opt.pick_runs(3, 10);
   const double duration = opt.pick_duration(800.0, 2500.0);
+
+  exp::ScenarioSpec base;
+  base.net_size = 7;
+  base.loss_good = 0.10;
+  base.loss_bad = 0.80;
+  base.bad_fraction = 0.30;
+  bench::apply_scenario(opt, base);
 
   std::printf("=== Ablation: locally-recovered ACK rewrite (paper §4) ===\n");
   std::printf("7-node lossy chain, one reliable flow, %.0f s, %zu runs\n\n",
               duration, n_runs);
 
-  const auto on = run_case(true, opt.seed, n_runs, duration, opt.jobs);
-  const auto off = run_case(false, opt.seed, n_runs, duration, opt.jobs);
+  const auto on = run_case(base, true, opt.seed, n_runs, duration, opt.jobs);
+  const auto off =
+      run_case(base, false, opt.seed, n_runs, duration, opt.jobs);
 
   auto rep = bench::make_report(opt, "",
                                 {{"variant", 0},

@@ -14,6 +14,8 @@ using namespace jtp;
 
 int main(int argc, char** argv) {
   const auto opt = bench::parse_options(argc, argv);
+  bench::reject_scenario_flags(
+      opt, "this bench evaluates closed forms, not a simulated scenario");
   const int k = opt.full ? 20000 : 4000;
 
   std::printf("=== Analysis: in-network caching gain (eqs. 5-6) ===\n");

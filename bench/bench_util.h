@@ -1,18 +1,22 @@
 // Shared helpers for the figure/table reproduction binaries.
 //
 // Every bench accepts:
-//   --full        paper-scale durations and seed counts (slower)
-//   --seed N      base seed (default 1)
-//   --runs N      override the number of independent runs
-//   --jobs N      seed-level parallelism (default: one per hardware thread)
-//   --csv PATH    also write the result series to CSV file(s)
-//   --help        print usage and exit
+//   --full            paper-scale durations and seed counts (slower)
+//   --seed N          base seed (default 1)
+//   --runs N          override the number of independent runs
+//   --jobs N          seed-level parallelism (default: one per hw thread)
+//   --csv PATH        also write the result series to CSV file(s)
+//   --proto NAME      restrict/override the protocol under test
+//   --scenario SPEC   key=value overrides for the bench's base scenario
+//   --help            print usage and exit
 //
-// Unknown flags are an error (exit 2 with usage), not silently ignored —
-// a typo like --job must not turn a parallel baseline run into a serial
-// one that silently measures something else.
+// Unknown flags — and unknown --proto names or --scenario keys — are an
+// error (exit 2 with usage), not silently ignored: a typo like --job must
+// not turn a parallel baseline run into a serial one that silently
+// measures something else.
 #pragma once
 
+#include <cerrno>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -24,6 +28,7 @@
 #include <vector>
 
 #include "exp/runner.h"
+#include "exp/scenario.h"
 
 namespace jtp::bench {
 
@@ -33,6 +38,8 @@ struct Options {
   std::optional<std::size_t> runs;
   std::string csv_path;
   std::size_t jobs = 0;  // 0 = auto (one job per hardware thread)
+  std::optional<exp::Proto> proto;  // --proto; unset = bench default
+  std::string scenario;  // --scenario tokens (validated at parse time)
 
   std::size_t pick_runs(std::size_t quick, std::size_t paper) const {
     if (runs) return *runs;
@@ -40,6 +47,15 @@ struct Options {
   }
   double pick_duration(double quick, double paper) const {
     return full ? paper : quick;
+  }
+
+  // The bench's protocol list, unless --proto restricts it to one.
+  std::vector<exp::Proto> protos_or(std::vector<exp::Proto> defaults) const {
+    if (proto) return {*proto};
+    return defaults;
+  }
+  exp::Proto proto_or(exp::Proto fallback) const {
+    return proto.value_or(fallback);
   }
 };
 
@@ -55,13 +71,18 @@ struct ParseResult {
 
 inline const char* usage_text() {
   return
-      "  --full        paper-scale durations and seed counts (slower)\n"
-      "  --seed N      base seed (default 1)\n"
-      "  --runs N      override the number of independent runs\n"
-      "  --jobs N      run seeds on N threads (default: hardware threads)\n"
-      "  --csv PATH    also write the result series to CSV file(s);\n"
-      "                multi-table benches derive PATH.<section>.csv names\n"
-      "  --help        show this message\n";
+      "  --full            paper-scale durations and seed counts (slower)\n"
+      "  --seed N          base seed (default 1)\n"
+      "  --runs N          override the number of independent runs\n"
+      "  --jobs N          run seeds on N threads (default: hw threads)\n"
+      "  --csv PATH        also write the result series to CSV file(s);\n"
+      "                    multi-table benches derive PATH.<section>.csv\n"
+      "  --proto NAME      protocol override: jtp, jnc, tcp or atp\n"
+      "  --scenario SPEC   comma-separated key=value scenario overrides\n"
+      "                    (first token may name a preset: linear, random,\n"
+      "                    mobile, testbed), e.g.\n"
+      "                    --scenario 'net_size=12,loss_good=0.1'\n"
+      "  --help            show this message\n";
 }
 
 inline ParseResult parse_args(int argc, char** argv) {
@@ -82,7 +103,12 @@ inline ParseResult parse_args(int argc, char** argv) {
       return false;
     }
     char* end = nullptr;
+    errno = 0;
     out = std::strtoull(arg, &end, 10);
+    if (errno == ERANGE) {  // reject silent saturation to ULLONG_MAX
+      r.error = std::string(flag) + ": '" + arg + "' is out of range";
+      return false;
+    }
     return true;
   };
   for (int i = 1; i < argc; ++i) {
@@ -111,6 +137,45 @@ inline ParseResult parse_args(int argc, char** argv) {
         return r;
       }
       r.options.csv_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--proto") == 0) {
+      if (i + 1 >= argc) {
+        r.error = "--proto requires a protocol name";
+        return r;
+      }
+      const auto p = core::parse_proto(argv[++i]);
+      if (!p) {
+        r.error = std::string("--proto: unknown protocol '") + argv[i] +
+                  "' (known: jtp, jnc, tcp, atp)";
+        return r;
+      }
+      r.options.proto = *p;
+    } else if (std::strcmp(argv[i], "--scenario") == 0) {
+      if (i + 1 >= argc) {
+        r.error = "--scenario requires a key=value spec";
+        return r;
+      }
+      r.options.scenario = argv[++i];
+      // Validate now (against a scratch spec) so a typo fails before any
+      // simulation time is spent; benches re-apply onto their own base.
+      exp::ScenarioSpec scratch;
+      const auto err = exp::apply_scenario_tokens(scratch,
+                                                  r.options.scenario);
+      if (!err.empty()) {
+        r.error = "--scenario: " + err;
+        return r;
+      }
+      // Protocol and seed have dedicated, bench-aware flags; a proto= or
+      // seed= token would bypass per-bench protocol guards (or be
+      // silently overwritten by the sweep) — exactly the "measures
+      // something else" failure this parser exists to prevent.
+      if (scratch.proto != exp::ScenarioSpec{}.proto) {
+        r.error = "--scenario: set the protocol with --proto, not proto=";
+        return r;
+      }
+      if (scratch.seed != exp::ScenarioSpec{}.seed) {
+        r.error = "--scenario: set the seed with --seed, not seed=";
+        return r;
+      }
     } else {
       r.error = std::string("unknown flag '") + argv[i] + "'";
       return r;
@@ -173,6 +238,67 @@ inline void finish_report(exp::Report& rep) {
     std::fprintf(stderr, "error: CSV write to %s failed\n",
                  rep.csv_path().c_str());
     std::exit(1);
+  }
+}
+
+// Overlays the user's --scenario tokens onto the bench's base spec. The
+// tokens were validated at parse time; a failure here means they conflict
+// with this bench's base (e.g. a bad preset combination) and is fatal.
+// Belt-and-braces: proto/seed changes are re-rejected against the bench's
+// own base, mirroring the parse-time check.
+inline void apply_scenario(const Options& opt, exp::ScenarioSpec& spec) {
+  if (opt.scenario.empty()) return;
+  auto updated = spec;
+  const auto err = exp::apply_scenario_tokens(updated, opt.scenario);
+  if (!err.empty()) {
+    std::fprintf(stderr, "error: --scenario: %s\n", err.c_str());
+    std::exit(2);
+  }
+  if (updated.proto != spec.proto) {
+    std::fprintf(stderr,
+                 "error: --scenario: set the protocol with --proto\n");
+    std::exit(2);
+  }
+  if (updated.seed != spec.seed) {
+    std::fprintf(stderr, "error: --scenario: set the seed with --seed\n");
+    std::exit(2);
+  }
+  spec = std::move(updated);
+}
+
+// Sweep collapse: when --scenario overrides a field the bench sweeps
+// (e.g. net_size in fig09), the sweep honors the override by collapsing
+// to that single point — an accepted key must never be silently
+// clobbered by the bench's own loop.
+template <typename T>
+std::vector<T> sweep_or(const T& value, const T& base_default,
+                        std::vector<T> sweep) {
+  if (!(value == base_default)) return {value};
+  return sweep;
+}
+
+// For benches whose measurement is specific to one protocol (ablations,
+// single-protocol figures): reject a --proto that asks for anything else
+// instead of silently ignoring it.
+inline void require_proto(const Options& opt, exp::Proto required,
+                          const char* why) {
+  if (!opt.proto || *opt.proto == required) return;
+  std::fprintf(stderr, "error: --proto %s is not supported here: %s\n",
+               exp::proto_name(*opt.proto).c_str(), why);
+  std::exit(2);
+}
+
+// For benches with no scenario at all (closed-form analyses): reject
+// --scenario/--proto outright.
+inline void reject_scenario_flags(const Options& opt, const char* why) {
+  if (opt.proto) {
+    std::fprintf(stderr, "error: --proto is not supported here: %s\n", why);
+    std::exit(2);
+  }
+  if (!opt.scenario.empty()) {
+    std::fprintf(stderr, "error: --scenario is not supported here: %s\n",
+                 why);
+    std::exit(2);
   }
 }
 

@@ -21,16 +21,28 @@ using namespace jtp;
 
 int main(int argc, char** argv) {
   const auto opt = bench::parse_options(argc, argv);
+  bench::require_proto(opt, exp::Proto::kJtp,
+                       "Figure 3 sweeps JTP's loss-tolerance knob");
   const std::size_t n_runs = opt.pick_runs(3, 20);
   const std::uint64_t k = opt.full ? 1600 : 400;
   const double horizon = opt.full ? 8000.0 : 4000.0;
+
+  // Bare linear substrate (flows are attached per tolerance level below);
+  // residual loss high enough that the attempt budget differs across
+  // tolerance levels even in the good state.
+  exp::ScenarioSpec defaults;
+  defaults.loss_good = 0.15;
+  auto base = defaults;
+  bench::apply_scenario(opt, base);
 
   std::printf("=== Figure 3: adjustable reliability (jtp0/jtp10/jtp20) ===\n");
   std::printf("transfer=%llu pkts x 800 B, linear nets, %zu runs\n\n",
               static_cast<unsigned long long>(k), n_runs);
 
   const std::vector<double> tolerances = {0.0, 0.10, 0.20};
-  const std::vector<std::size_t> sizes = {2, 3, 4, 5, 6, 7, 8, 9};
+  const auto sizes =
+      bench::sweep_or<std::size_t>(base.net_size, defaults.net_size,
+                                   {2, 3, 4, 5, 6, 7, 8, 9});
 
   auto rep = bench::make_report(
       opt, "",
@@ -51,19 +63,16 @@ int main(int argc, char** argv) {
       auto runs = exp::run_seeds(
           n_runs, opt.seed,
           [&](std::uint64_t s) {
-            exp::ScenarioConfig sc;
-            sc.seed = s + static_cast<std::uint64_t>(lt * 1000);
-            sc.proto = exp::Proto::kJtp;
-            // Residual loss high enough that the attempt budget differs
-            // across tolerance levels even in the good state.
-            sc.loss_good = 0.15;
-            auto net = exp::make_linear(n, sc);
-            exp::FlowManager fm(*net, exp::Proto::kJtp);
+            auto spec = base;
+            spec.seed = s + static_cast<std::uint64_t>(lt * 1000);
+            spec.net_size = n;
+            auto scenario = exp::build(spec);
             exp::FlowOptions fo;
             fo.loss_tolerance = lt;
-            fm.create(0, static_cast<core::NodeId>(n - 1), k, 0.0, fo);
-            net->run_until(horizon);
-            return fm.collect(horizon);
+            scenario.flows->create(0, static_cast<core::NodeId>(n - 1), k,
+                                   0.0, fo);
+            scenario.network->run_until(horizon);
+            return scenario.flows->collect(horizon);
           },
           opt.jobs);
       row.push_back(exp::aggregate(runs, [](const exp::RunMetrics& m) {
@@ -89,20 +98,20 @@ int main(int argc, char** argv) {
            "(jtp10)",
       {{"time_s", 1}, {"max_attempts", 0}}, 13, "attempts");
   {
-    exp::ScenarioConfig sc;
-    sc.seed = opt.seed;
-    sc.proto = exp::Proto::kJtp;
-    auto net = exp::make_linear(4, sc);
-    exp::FlowManager fm(*net, exp::Proto::kJtp);
+    exp::ScenarioSpec spec;  // substrate defaults (loss_good 0.05)
+    bench::apply_scenario(opt, spec);
+    spec.seed = opt.seed;
+    spec.net_size = 4;
+    auto scenario = exp::build(spec);
     exp::FlowOptions fo;
     fo.loss_tolerance = 0.10;
-    fm.create(0, 3, 0, 0.0, fo);  // long-lived
+    scenario.flows->create(0, 3, 0, 0.0, fo);  // long-lived
     std::vector<std::pair<double, int>> trace;
-    net->mac_of(2).set_attempt_trace(
+    scenario.network->mac_of(2).set_attempt_trace(
         [&](sim::Time t, const core::Packet&, int m) {
           trace.push_back({t, m});
         });
-    net->run_until(opt.full ? 1200.0 : 400.0);
+    scenario.network->run_until(opt.full ? 1200.0 : 400.0);
     repc.begin();
     std::printf("(stdout shows every 10th packet; the CSV has all)\n");
     for (std::size_t i = 0; i < trace.size(); ++i)

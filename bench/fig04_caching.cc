@@ -20,30 +20,44 @@ using namespace jtp;
 
 namespace {
 
-exp::RunMetrics one_run(std::size_t n, exp::Proto proto, std::uint64_t seed,
+exp::RunMetrics one_run(exp::ScenarioSpec spec, std::size_t n,
+                        exp::Proto proto, std::uint64_t seed,
                         double duration) {
-  exp::ScenarioConfig sc;
-  sc.seed = seed;
-  sc.proto = proto;
-  // Caching-stress regime: deep, frequent bad dwells so the 5-attempt
-  // budget is exceeded often (p_bad^5 ≈ 33%) and end-to-end vs in-network
-  // recovery genuinely diverge — the regime Fig. 4 is about.
-  sc.loss_good = 0.10;
-  sc.loss_bad = 0.80;
-  sc.bad_fraction = 0.30;
-  auto net = exp::make_linear(n, sc);
-  exp::FlowManager fm(*net, proto);
-  fm.create(0, static_cast<core::NodeId>(n - 1), 0);  // long-lived
-  net->run_until(duration);
-  return fm.collect(duration);
+  spec.seed = seed;
+  spec.proto = proto;
+  spec.net_size = n;
+  auto s = exp::build(spec);
+  s.flows->create(0, static_cast<core::NodeId>(n - 1), 0);  // long-lived
+  s.network->run_until(duration);
+  return s.flows->collect(duration);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const auto opt = bench::parse_options(argc, argv);
+  bench::require_proto(opt, exp::Proto::kJtp,
+                       "Figure 4 is the JTP-vs-JNC caching comparison");
   const std::size_t n_runs = opt.pick_runs(3, 20);
   const double duration = opt.pick_duration(800.0, 2500.0);
+
+  // Caching-stress regime: deep, frequent bad dwells so the 5-attempt
+  // budget is exceeded often (p_bad^5 ≈ 33%) and end-to-end vs in-network
+  // recovery genuinely diverge — the regime Fig. 4 is about.
+  exp::ScenarioSpec defaults;
+  defaults.loss_good = 0.10;
+  defaults.loss_bad = 0.80;
+  defaults.bad_fraction = 0.30;
+  auto base = defaults;
+  bench::apply_scenario(opt, base);
+  const auto sizes = bench::sweep_or<std::size_t>(
+      base.net_size, defaults.net_size, {3, 4, 5, 6, 7, 8, 9});
+  // Section (b) reports per-node energy for the 7-node case, or for the
+  // sweep's largest size when an override collapsed the sweep.
+  const std::size_t b_n =
+      std::find(sizes.begin(), sizes.end(), std::size_t{7}) != sizes.end()
+          ? 7
+          : sizes.back();
 
   std::printf("=== Figure 4: in-network caching gain (JTP vs JNC) ===\n");
   std::printf("long-lived flow over linear nets, %.0f s, %zu runs\n\n",
@@ -56,20 +70,20 @@ int main(int argc, char** argv) {
                                  {"jnc_over_jtp", 3}},
                                 16, "a");
   rep.begin();
-  // Section (b) reuses the 7-node runs from this sweep instead of
+  // Section (b) reuses the b_n-node runs from this sweep instead of
   // re-simulating them (RunMetrics already carries per-node energy).
   std::vector<exp::RunMetrics> jtp7, jnc7;
-  for (std::size_t n : {3, 4, 5, 6, 7, 8, 9}) {
+  for (std::size_t n : sizes) {
     auto jtp_runs = exp::run_seeds(
         n_runs, opt.seed,
         [&](std::uint64_t s) {
-          return one_run(n, exp::Proto::kJtp, s, duration);
+          return one_run(base, n, exp::Proto::kJtp, s, duration);
         },
         opt.jobs);
     auto jnc_runs = exp::run_seeds(
         n_runs, opt.seed,
         [&](std::uint64_t s) {
-          return one_run(n, exp::Proto::kJnc, s, duration);
+          return one_run(base, n, exp::Proto::kJnc, s, duration);
         },
         opt.jobs);
     const auto ej = exp::aggregate(jtp_runs, [](const exp::RunMetrics& m) {
@@ -79,7 +93,7 @@ int main(int argc, char** argv) {
       return m.energy_per_bit_uj();
     });
     rep.row({n, ej, en, ej.mean > 0 ? en.mean / ej.mean : 0.0});
-    if (n == 7) {
+    if (n == b_n) {
       jtp7 = std::move(jtp_runs);
       jnc7 = std::move(jnc_runs);
     }
@@ -88,24 +102,26 @@ int main(int argc, char** argv) {
 
   std::printf("\n");
   auto repb = bench::make_report(
-      opt, "(b) per-node energy, 7-node linear topology (J)",
+      opt,
+      "(b) per-node energy, " + std::to_string(b_n) +
+          "-node linear topology (J)",
       {{"node", 0}, {"jtp_j", 4}, {"jnc_j", 4}}, 12, "b");
   repb.begin();
   {
-    std::vector<double> jtp_node(7, 0.0), jnc_node(7, 0.0);
+    std::vector<double> jtp_node(b_n, 0.0), jnc_node(b_n, 0.0);
     for (std::size_t r = 0; r < n_runs; ++r) {
-      for (int i = 0; i < 7; ++i) {
+      for (std::size_t i = 0; i < b_n; ++i) {
         jtp_node[i] += jtp7[r].per_node_energy_j[i] / n_runs;
         jnc_node[i] += jnc7[r].per_node_energy_j[i] / n_runs;
       }
     }
-    for (int i = 0; i < 7; ++i)
+    for (std::size_t i = 0; i < b_n; ++i)
       repb.row({i + 1, jtp_node[i], jnc_node[i]});
     bench::finish_report(repb);
     // Mid-path fairness: coefficient of spread across interior nodes.
-    auto spread = [](const std::vector<double>& v) {
+    auto spread = [b_n](const std::vector<double>& v) {
       double lo = 1e18, hi = 0;
-      for (int i = 1; i + 1 < 7; ++i) {
+      for (std::size_t i = 1; i + 1 < b_n; ++i) {
         lo = std::min(lo, v[i]);
         hi = std::max(hi, v[i]);
       }

@@ -27,37 +27,34 @@ struct SeriesPair {
   std::uint64_t cache_rtx = 0;
 };
 
-SeriesPair run_case(bool backoff, std::uint64_t seed, double duration) {
-  exp::ScenarioConfig sc;
-  sc.seed = seed;
-  sc.proto = exp::Proto::kJtp;
-  // Frequent bad dwells make flow2's local recovery a substantial share
-  // of the traffic, which is what the back-off compensates for.
-  sc.loss_bad = 0.75;
-  sc.loss_good = 0.10;
-  sc.bad_fraction = 0.25;
-  auto net = exp::make_linear(6, sc);
-  exp::FlowManager fm(*net, exp::Proto::kJtp);
+SeriesPair run_case(const exp::ScenarioSpec& base, bool backoff,
+                    std::uint64_t seed, double duration) {
+  auto spec = base;
+  spec.seed = seed;
+  auto s = exp::build(spec);
+  auto& net = *s.network;
+  auto& fm = *s.flows;
 
+  const auto last = static_cast<core::NodeId>(spec.net_size - 1);
   exp::FlowOptions udp_like;
   udp_like.loss_tolerance = 1.0;  // tolerate everything: no SNACKs
-  auto& f1 = fm.create(0, 5, 0, 0.0, udp_like);
+  auto& f1 = fm.create(0, last, 0, 0.0, udp_like);
 
   exp::FlowOptions reliable;
   reliable.loss_tolerance = 0.0;
   reliable.backoff_for_local_recovery = backoff;
-  auto& f2 = fm.create(0, 5, 0, 0.0, reliable);
+  auto& f2 = fm.create(0, last, 0, 0.0, reliable);
 
   SeriesPair out;
-  f1.jtp.receiver->set_on_deliver(
-      [&](core::SeqNo, std::uint32_t) { out.f1.add(net->simulator().now(), 1.0); });
-  f2.jtp.receiver->set_on_deliver(
-      [&](core::SeqNo, std::uint32_t) { out.f2.add(net->simulator().now(), 1.0); });
+  f1.receiver_as<core::EjtpReceiver>()->set_on_deliver(
+      [&](core::SeqNo, std::uint32_t) { out.f1.add(net.simulator().now(), 1.0); });
+  f2.receiver_as<core::EjtpReceiver>()->set_on_deliver(
+      [&](core::SeqNo, std::uint32_t) { out.f2.add(net.simulator().now(), 1.0); });
 
-  net->run_until(duration);
+  net.run_until(duration);
   out.goodput1 = f1.delivered_bits() / duration / 1e3;
   out.goodput2 = f2.delivered_bits() / duration / 1e3;
-  out.cache_rtx = net->total_cache_retransmissions();
+  out.cache_rtx = net.total_cache_retransmissions();
   return out;
 }
 
@@ -79,15 +76,26 @@ void print_series(const bench::Options& opt, const std::string& title,
 
 int main(int argc, char** argv) {
   const auto opt = bench::parse_options(argc, argv);
+  bench::require_proto(opt, exp::Proto::kJtp,
+                       "Figure 5 measures JTP's source back-off");
   const double duration = opt.pick_duration(600.0, 1800.0);
+
+  // Frequent bad dwells make flow2's local recovery a substantial share
+  // of the traffic, which is what the back-off compensates for.
+  exp::ScenarioSpec base;
+  base.net_size = 6;
+  base.loss_bad = 0.75;
+  base.loss_good = 0.10;
+  base.bad_fraction = 0.25;
+  bench::apply_scenario(opt, base);
 
   std::printf("=== Figure 5: source back-off for locally recovered packets ===\n");
   std::printf("flow1: UDP-like (lt=100%%); flow2: reliable (lt=0%%); lossy "
               "6-node chain, %.0f s\n\n", duration);
 
   const std::size_t n_runs = opt.pick_runs(3, 10);
-  const auto with = run_case(/*backoff=*/true, opt.seed, duration);
-  const auto without = run_case(/*backoff=*/false, opt.seed, duration);
+  const auto with = run_case(base, /*backoff=*/true, opt.seed, duration);
+  const auto without = run_case(base, /*backoff=*/false, opt.seed, duration);
 
   print_series(opt, "(a) with back-off: short-term reception rate", "with",
                with, duration, duration / 20.0);
@@ -102,8 +110,8 @@ int main(int argc, char** argv) {
   auto runs = exp::run_seeds_as(
       n_runs, opt.seed,
       [&](std::uint64_t s) {
-        return LongTerm{run_case(true, s, duration),
-                        run_case(false, s, duration)};
+        return LongTerm{run_case(base, true, s, duration),
+                        run_case(base, false, s, duration)};
       },
       opt.jobs);
 

@@ -17,22 +17,22 @@ using namespace jtp;
 
 namespace {
 
-exp::Aggregate source_rtx(std::size_t net_size, std::size_t cache,
+exp::Aggregate source_rtx(const exp::ScenarioSpec& base,
+                          std::size_t net_size, std::size_t cache,
                           std::uint64_t seed, std::size_t n_runs,
                           double duration, std::size_t jobs) {
   auto runs = exp::run_seeds(
       n_runs, seed,
       [&](std::uint64_t s) {
-        exp::ScenarioConfig sc;
-        sc.seed = s;
-        sc.proto = exp::Proto::kJtp;
-        sc.cache_size_packets = cache;
-        sc.loss_bad = 0.6;
-        auto net = exp::make_linear(net_size, sc);
-        exp::FlowManager fm(*net, exp::Proto::kJtp);
-        fm.create(0, static_cast<core::NodeId>(net_size - 1), 0);
-        net->run_until(duration);
-        return fm.collect(duration);
+        auto spec = base;
+        spec.seed = s;
+        spec.net_size = net_size;
+        spec.cache_size_packets = cache;
+        auto scenario = exp::build(spec);
+        scenario.flows->create(0, static_cast<core::NodeId>(net_size - 1),
+                               0);
+        scenario.network->run_until(duration);
+        return scenario.flows->collect(duration);
       },
       jobs);
   return exp::aggregate(runs, [](const exp::RunMetrics& m) {
@@ -44,28 +44,36 @@ exp::Aggregate source_rtx(std::size_t net_size, std::size_t cache,
 
 int main(int argc, char** argv) {
   const auto opt = bench::parse_options(argc, argv);
+  bench::require_proto(opt, exp::Proto::kJtp,
+                       "Figure 6 measures JTP's in-network caches");
   const std::size_t n_runs = opt.pick_runs(3, 10);
   const double duration = opt.pick_duration(800.0, 2500.0);
+
+  exp::ScenarioSpec defaults;
+  defaults.loss_bad = 0.6;
+  auto base = defaults;
+  bench::apply_scenario(opt, base);
+  const auto caches = bench::sweep_or<std::size_t>(
+      base.cache_size_packets, defaults.cache_size_packets,
+      {1, 2, 4, 8, 16, 32, 64, 128});
+  const auto sizes = bench::sweep_or<std::size_t>(
+      base.net_size, defaults.net_size, {4, 6, 8});
 
   std::printf("=== Figure 6: effect of cache size on source retransmissions ===\n");
   std::printf("long-lived reliable flow, lossy linear nets, %.0f s, %zu runs\n",
               duration, n_runs);
   std::printf("(TLowerBound=10 s: the knee is expected near rate*T packets)\n\n");
 
-  const std::vector<std::size_t> caches = {1, 2, 4, 8, 16, 32, 64, 128};
-  const std::vector<std::size_t> sizes = {4, 6, 8};
-
-  auto rep = bench::make_report(opt, "",
-                                {{"cache_size", 0},
-                                 {"src_rtx_net4", 1, true},
-                                 {"src_rtx_net6", 1, true},
-                                 {"src_rtx_net8", 1, true}},
-                                16);
+  std::vector<sim::Column> cols{{"cache_size", 0}};
+  for (std::size_t n : sizes)
+    cols.push_back({"src_rtx_net" + std::to_string(n), 1, true});
+  auto rep = bench::make_report(opt, "", std::move(cols), 16);
   rep.begin();
   for (std::size_t c : caches) {
     std::vector<sim::Cell> row{c};
     for (std::size_t n : sizes)
-      row.push_back(source_rtx(n, c, opt.seed, n_runs, duration, opt.jobs));
+      row.push_back(
+          source_rtx(base, n, c, opt.seed, n_runs, duration, opt.jobs));
     rep.row(std::move(row));
   }
   bench::finish_report(rep);

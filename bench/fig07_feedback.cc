@@ -27,14 +27,14 @@ struct Outcome {
   double completion_s = 0;
 };
 
-Outcome one_run(core::FeedbackMode mode, double fb_rate, std::uint64_t seed,
-                double duration, std::uint64_t long_flow_packets) {
-  exp::ScenarioConfig sc;
-  sc.seed = seed;
-  sc.proto = exp::Proto::kJtp;
-  sc.queue_capacity_packets = 25;
-  auto net = exp::make_linear(8, sc);
-  exp::FlowManager fm(*net, exp::Proto::kJtp);
+Outcome one_run(const exp::ScenarioSpec& base, core::FeedbackMode mode,
+                double fb_rate, std::uint64_t seed, double duration,
+                std::uint64_t long_flow_packets) {
+  auto spec = base;
+  spec.seed = seed;
+  auto scenario = exp::build(spec);
+  auto& net = *scenario.network;
+  auto& fm = *scenario.flows;
 
   // Fixed-size long transfer: every feedback configuration must deliver
   // the same application data, so energy differences come from control
@@ -42,11 +42,12 @@ Outcome one_run(core::FeedbackMode mode, double fb_rate, std::uint64_t seed,
   exp::FlowOptions long_opt;
   long_opt.feedback_mode = mode;
   long_opt.constant_feedback_rate_pps = fb_rate;
-  auto& long_flow = fm.create(0, 7, long_flow_packets, 0.0, long_opt);
+  const auto last = static_cast<core::NodeId>(spec.net_size - 1);
+  auto& long_flow = fm.create(0, last, long_flow_packets, 0.0, long_opt);
 
   // Short-lived cross traffic: a 60-packet transfer between mid-path
   // neighbors every ~120 s, bursty enough to congest the chain.
-  sim::Rng arrivals = net->rng().derive("short-flows");
+  sim::Rng arrivals = net.rng().derive("short-flows");
   double t = 50.0;
   int idx = 0;
   while (t < duration - 60.0) {
@@ -63,9 +64,9 @@ Outcome one_run(core::FeedbackMode mode, double fb_rate, std::uint64_t seed,
   double now = 0.0;
   while (!long_flow.finished() && now < 3.0 * duration) {
     now += 50.0;
-    net->run_until(now);
+    net.run_until(now);
   }
-  net->run_until(now + 10.0);  // drain in-flight ACKs
+  net.run_until(now + 10.0);  // drain in-flight ACKs
   const auto m = fm.collect(now + 10.0);
   return Outcome{m.total_energy_j * 1e3,
                  static_cast<double>(m.queue_drops),
@@ -76,13 +77,14 @@ struct Row {
   exp::Aggregate energy, drops, acks, done;
 };
 
-Row run_case(core::FeedbackMode mode, double fb_rate, std::uint64_t seed,
-             std::size_t n_runs, double duration,
-             std::uint64_t long_flow_packets, std::size_t jobs) {
+Row run_case(const exp::ScenarioSpec& base, core::FeedbackMode mode,
+             double fb_rate, std::uint64_t seed, std::size_t n_runs,
+             double duration, std::uint64_t long_flow_packets,
+             std::size_t jobs) {
   auto runs = exp::run_seeds_as(
       n_runs, seed,
       [&](std::uint64_t s) {
-        return one_run(mode, fb_rate, s, duration, long_flow_packets);
+        return one_run(base, mode, fb_rate, s, duration, long_flow_packets);
       },
       jobs);
   auto agg = [&](double Outcome::*field) {
@@ -98,8 +100,24 @@ Row run_case(core::FeedbackMode mode, double fb_rate, std::uint64_t seed,
 
 int main(int argc, char** argv) {
   const auto opt = bench::parse_options(argc, argv);
+  bench::require_proto(opt, exp::Proto::kJtp,
+                       "Figure 7 sweeps JTP's feedback modes");
   const std::size_t n_runs = opt.pick_runs(3, 10);
   const double duration = opt.pick_duration(900.0, 2500.0);
+
+  exp::ScenarioSpec base;
+  base.net_size = 8;
+  base.queue_capacity_packets = 25;
+  bench::apply_scenario(opt, base);
+  if (base.net_size < 7) {
+    // The short-lived cross traffic runs between mid-path neighbors
+    // (nodes 2..4 -> +2); smaller chains have no such mid-path.
+    std::fprintf(stderr,
+                 "error: --scenario: fig07's mid-path cross traffic needs "
+                 "net_size >= 7 (got %zu)\n",
+                 base.net_size);
+    return 2;
+  }
 
   std::printf("=== Figure 7: variable vs constant feedback rate ===\n");
   std::printf("8-node linear, long-lived flow + short-lived cross traffic, "
@@ -115,13 +133,13 @@ int main(int argc, char** argv) {
                                 16);
   rep.begin();
   for (double rate : {0.05, 0.1, 0.2, 0.3, 0.5}) {
-    const auto o = run_case(core::FeedbackMode::kConstant, rate, opt.seed,
-                            n_runs, duration, k, opt.jobs);
+    const auto o = run_case(base, core::FeedbackMode::kConstant, rate,
+                            opt.seed, n_runs, duration, k, opt.jobs);
     char label[32];
     std::snprintf(label, sizeof label, "const %.2f", rate);
     rep.row({std::string(label), o.energy, o.drops, o.acks, o.done});
   }
-  const auto v = run_case(core::FeedbackMode::kVariable, 0.0, opt.seed,
+  const auto v = run_case(base, core::FeedbackMode::kVariable, 0.0, opt.seed,
                           n_runs, duration, k, opt.jobs);
   rep.row({"variable", v.energy, v.drops, v.acks, v.done});
   bench::finish_report(rep);

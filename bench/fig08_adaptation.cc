@@ -19,32 +19,33 @@ using namespace jtp;
 
 int main(int argc, char** argv) {
   const auto opt = bench::parse_options(argc, argv);
+  bench::require_proto(opt, exp::Proto::kJtp,
+                       "Figure 8 traces JTP's PI^2/MD adaptation");
   const double t_start2 = 1000.0, t_end2 = 1250.0;
   const double duration = 1600.0;
 
   std::printf("=== Figure 8: rate adaptation for two competing JTP flows ===\n");
   std::printf("flow2 active on [%.0f, %.0f] s\n\n", t_start2, t_end2);
 
-  exp::ScenarioConfig sc;
-  sc.seed = opt.seed;
-  sc.proto = exp::Proto::kJtp;
-  sc.fading = false;  // isolate the adaptation dynamics, as the paper does
-  sc.loss_good = 0.02;
-  auto net = exp::make_linear(5, sc);
-  exp::FlowManager fm(*net, exp::Proto::kJtp);
+  exp::ScenarioSpec spec;
+  spec.fading = false;  // isolate the adaptation dynamics, as the paper does
+  spec.loss_good = 0.02;
+  bench::apply_scenario(opt, spec);
+  spec.seed = opt.seed;
+  auto scenario = exp::build(spec);
+  auto& net = *scenario.network;
+  auto& fm = *scenario.flows;
+  const auto last = static_cast<core::NodeId>(spec.net_size - 1);
 
-  auto& f1 = fm.create(0, 4, 0);
-  auto& f2 = fm.create(0, 4, 0, t_start2);
-  net->simulator().schedule(t_end2, [&f2] {
-    f2.jtp.sender->stop();
-    f2.jtp.receiver->stop();
-  });
+  auto& f1 = fm.create(0, last, 0);
+  auto& f2 = fm.create(0, last, 0, t_start2);
+  net.simulator().schedule(t_end2, [&f2] { f2.stop(); });
 
   sim::TimeSeries rx1, rx2;
-  f1.jtp.receiver->set_on_deliver(
-      [&](core::SeqNo, std::uint32_t) { rx1.add(net->simulator().now(), 1.0); });
-  f2.jtp.receiver->set_on_deliver(
-      [&](core::SeqNo, std::uint32_t) { rx2.add(net->simulator().now(), 1.0); });
+  f1.receiver_as<core::EjtpReceiver>()->set_on_deliver(
+      [&](core::SeqNo, std::uint32_t) { rx1.add(net.simulator().now(), 1.0); });
+  f2.receiver_as<core::EjtpReceiver>()->set_on_deliver(
+      [&](core::SeqNo, std::uint32_t) { rx2.add(net.simulator().now(), 1.0); });
 
   // Sample flow 1's path monitor once a second.
   struct MonitorSample {
@@ -57,18 +58,18 @@ int main(int argc, char** argv) {
     std::vector<MonitorSample>* mon;
     double until;
     void operator()() const {
-      const auto& m = f1->jtp.receiver->rate_monitor();
+      const auto* rcv = f1->receiver_as<core::EjtpReceiver>();
+      const auto& m = rcv->rate_monitor();
       if (m.initialized())
         mon->push_back({net->simulator().now(), m.last_sample(), m.mean(),
-                        m.ucl(), m.lcl(),
-                        f1->jtp.receiver->advertised_rate_pps()});
+                        m.ucl(), m.lcl(), rcv->advertised_rate_pps()});
       if (net->simulator().now() < until)
         net->simulator().schedule(1.0, *this);
     }
   };
-  net->simulator().schedule(1.0, Sampler{net.get(), &f1, &mon, duration});
+  net.simulator().schedule(1.0, Sampler{&net, &f1, &mon, duration});
 
-  net->run_until(duration);
+  net.run_until(duration);
 
   auto rep = bench::make_report(
       opt, "(a) instantaneous throughput (10 s buckets)",

@@ -1,9 +1,9 @@
 // Figure 9 (paper §6.1.1): JTP vs ATP vs TCP-SACK on linear topologies.
 //
-// Two competing full-reliability flows between the chain's ends; links
-// alternate between good and bad states (Gilbert–Elliott, 10% bad, 3 s
-// mean bad dwell). Reported: (a) energy per delivered bit, (b) average
-// per-flow goodput, both with 95% CIs.
+// The "linear" ScenarioSpec preset: two competing full-reliability flows
+// between the chain's ends; links alternate between good and bad states
+// (Gilbert–Elliott, 10% bad, 3 s mean bad dwell). Reported: (a) energy
+// per delivered bit, (b) average per-flow goodput, both with 95% CIs.
 //
 // Expected shape: JTP lowest energy/bit at every size, with ATP ~2x and
 // TCP ~5x JTP by the longest paths; JTP also highest goodput.
@@ -19,18 +19,15 @@ using namespace jtp;
 
 namespace {
 
-exp::RunMetrics one_run(std::size_t n, exp::Proto proto, std::uint64_t seed,
+exp::RunMetrics one_run(exp::ScenarioSpec spec, std::size_t n,
+                        exp::Proto proto, std::uint64_t seed,
                         double duration) {
-  exp::ScenarioConfig sc;
-  sc.seed = seed;
-  sc.proto = proto;
-  auto net = exp::make_linear(n, sc);
-  exp::FlowManager fm(*net, proto);
-  const auto last = static_cast<core::NodeId>(n - 1);
-  fm.create(0, last, 0, 10.0);
-  fm.create(last, 0, 0, 20.0);
-  net->run_until(duration);
-  return fm.collect(duration);
+  spec.net_size = n;
+  spec.proto = proto;
+  spec.seed = seed;
+  auto s = exp::build(spec);
+  s.network->run_until(duration);
+  return s.flows->collect(duration);
 }
 
 }  // namespace
@@ -40,31 +37,37 @@ int main(int argc, char** argv) {
   const std::size_t n_runs = opt.pick_runs(5, 20);
   const double duration = opt.pick_duration(800.0, 2500.0);
 
+  const auto defaults = exp::preset("linear");
+  auto base = defaults;
+  bench::apply_scenario(opt, base);
+  const auto protos =
+      opt.protos_or({exp::Proto::kJtp, exp::Proto::kAtp, exp::Proto::kTcp});
+  const auto sizes =
+      bench::sweep_or<std::size_t>(base.net_size, defaults.net_size,
+                                   {2, 3, 4, 5, 6, 7, 8, 9, 10});
+
   std::printf("=== Figure 9: linear topologies, JTP vs ATP vs TCP-SACK ===\n");
   std::printf("2 competing flows, Gilbert links (10%% bad / 3 s), %.0f s, "
               "%zu runs, 95%% CI\n\n", duration, n_runs);
   std::printf("E/b = energy per delivered bit (uJ/bit)\n");
 
-  const std::vector<exp::Proto> protos = {exp::Proto::kJtp, exp::Proto::kAtp,
-                                          exp::Proto::kTcp};
-  auto rep = bench::make_report(opt, "",
-                                {{"net_size", 0},
-                                 {"jtp_uj_per_bit", 1, true},
-                                 {"atp_uj_per_bit", 1, true},
-                                 {"tcp_uj_per_bit", 1, true},
-                                 {"jtp_kbps", 3, true},
-                                 {"atp_kbps", 3, true},
-                                 {"tcp_kbps", 3, true}},
-                                15);
+  std::vector<sim::Column> cols{{"net_size", 0}};
+  for (const auto p : protos)
+    cols.push_back({exp::proto_name(p) + "_uj_per_bit", 1, true});
+  for (const auto p : protos)
+    cols.push_back({exp::proto_name(p) + "_kbps", 3, true});
+  auto rep = bench::make_report(opt, "", std::move(cols), 15);
   rep.begin();
 
-  for (std::size_t n : {2, 3, 4, 5, 6, 7, 8, 9, 10}) {
+  for (std::size_t n : sizes) {
     std::vector<sim::Cell> row{n};
     std::vector<sim::Cell> goodput_cells;
     for (const auto proto : protos) {
       auto runs = exp::run_seeds(
           n_runs, opt.seed,
-          [&](std::uint64_t s) { return one_run(n, proto, s, duration); },
+          [&](std::uint64_t s) {
+            return one_run(base, n, proto, s, duration);
+          },
           opt.jobs);
       row.push_back(exp::aggregate(runs, [](const exp::RunMetrics& m) {
         return m.energy_per_bit_uj();

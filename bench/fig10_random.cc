@@ -1,9 +1,10 @@
 // Figure 10 (paper §6.1.2): static random topologies, JTP vs ATP vs TCP.
 //
-// Nodes placed uniformly in a field sized for connectivity w.h.p.; 5
-// simultaneous flows between random (distinct) endpoints. All protocols
-// run under identical conditions in each run (same placement, same flow
-// endpoints, same seeds), as the paper requires for comparability.
+// The "random" ScenarioSpec preset: nodes placed uniformly in a field
+// sized for connectivity w.h.p.; 5 simultaneous flows between random
+// (distinct) endpoints. All protocols run under identical conditions in
+// each run (same placement, same flow endpoints, same seeds), as the
+// paper requires for comparability.
 #include <cstdio>
 #include <vector>
 
@@ -16,31 +17,15 @@ using namespace jtp;
 
 namespace {
 
-std::vector<std::pair<core::NodeId, core::NodeId>> pick_flows(
-    std::size_t n_nodes, std::uint64_t seed, int n_flows) {
-  sim::Rng rng(seed);
-  auto fr = rng.derive("flow-endpoints");
-  std::vector<std::pair<core::NodeId, core::NodeId>> out;
-  for (int i = 0; i < n_flows; ++i) {
-    const auto a = static_cast<core::NodeId>(fr.integer(n_nodes));
-    auto b = static_cast<core::NodeId>(fr.integer(n_nodes));
-    if (a == b) b = static_cast<core::NodeId>((b + 1) % n_nodes);
-    out.push_back({a, b});
-  }
-  return out;
-}
-
-exp::RunMetrics one_run(std::size_t n, exp::Proto proto, std::uint64_t seed,
+exp::RunMetrics one_run(exp::ScenarioSpec spec, std::size_t n,
+                        exp::Proto proto, std::uint64_t seed,
                         double duration) {
-  exp::ScenarioConfig sc;
-  sc.seed = seed;  // same seed for all protocols => same placement
-  sc.proto = proto;
-  auto net = exp::make_random(n, sc);
-  exp::FlowManager fm(*net, proto);
-  for (const auto& [src, dst] : pick_flows(n, seed, 5))
-    fm.create(src, dst, 0, 10.0);
-  net->run_until(duration);
-  return fm.collect(duration);
+  spec.net_size = n;
+  spec.proto = proto;
+  spec.seed = seed;  // same seed for all protocols => same placement/flows
+  auto s = exp::build(spec);
+  s.network->run_until(duration);
+  return s.flows->collect(duration);
 }
 
 }  // namespace
@@ -50,30 +35,36 @@ int main(int argc, char** argv) {
   const std::size_t n_runs = opt.pick_runs(3, 10);
   const double duration = opt.pick_duration(1000.0, 4000.0);
 
+  const auto defaults = exp::preset("random");
+  auto base = defaults;
+  bench::apply_scenario(opt, base);
+  const auto protos =
+      opt.protos_or({exp::Proto::kJtp, exp::Proto::kAtp, exp::Proto::kTcp});
+  const auto sizes = bench::sweep_or<std::size_t>(
+      base.net_size, defaults.net_size, {10, 15, 20, 25});
+
   std::printf("=== Figure 10: static random topologies ===\n");
   std::printf("5 random flows, %.0f s, %zu runs, 95%% CI\n\n", duration,
               n_runs);
   std::printf("E/b = energy per delivered bit (uJ/bit)\n");
 
-  auto rep = bench::make_report(opt, "",
-                                {{"net_size", 0},
-                                 {"jtp_uj_per_bit", 1, true},
-                                 {"atp_uj_per_bit", 1, true},
-                                 {"tcp_uj_per_bit", 1, true},
-                                 {"jtp_kbps", 3, true},
-                                 {"atp_kbps", 3, true},
-                                 {"tcp_kbps", 3, true}},
-                                15);
+  std::vector<sim::Column> cols{{"net_size", 0}};
+  for (const auto p : protos)
+    cols.push_back({exp::proto_name(p) + "_uj_per_bit", 1, true});
+  for (const auto p : protos)
+    cols.push_back({exp::proto_name(p) + "_kbps", 3, true});
+  auto rep = bench::make_report(opt, "", std::move(cols), 15);
   rep.begin();
 
-  for (std::size_t n : {10, 15, 20, 25}) {
+  for (std::size_t n : sizes) {
     std::vector<sim::Cell> row{n};
     std::vector<sim::Cell> goodput_cells;
-    for (const auto proto :
-         {exp::Proto::kJtp, exp::Proto::kAtp, exp::Proto::kTcp}) {
+    for (const auto proto : protos) {
       auto runs = exp::run_seeds(
           n_runs, opt.seed,
-          [&](std::uint64_t s) { return one_run(n, proto, s, duration); },
+          [&](std::uint64_t s) {
+            return one_run(base, n, proto, s, duration);
+          },
           opt.jobs);
       row.push_back(exp::aggregate(runs, [](const exp::RunMetrics& m) {
         return m.energy_per_bit_uj();

@@ -1,5 +1,6 @@
 // Figure 11 (paper §6.1.2): random topologies with random-waypoint
-// mobility at 0.1 / 1 / 5 m/s (15 nodes).
+// mobility at 0.1 / 1 / 5 m/s (the "mobile" ScenarioSpec preset,
+// 15 nodes).
 //
 // (a) energy per delivered bit, (b) goodput, for JTP/ATP/TCP;
 // (c) the split between end-to-end (source) retransmissions and locally
@@ -17,31 +18,15 @@ using namespace jtp;
 
 namespace {
 
-std::vector<std::pair<core::NodeId, core::NodeId>> pick_flows(
-    std::size_t n_nodes, std::uint64_t seed, int n_flows) {
-  sim::Rng rng(seed);
-  auto fr = rng.derive("flow-endpoints");
-  std::vector<std::pair<core::NodeId, core::NodeId>> out;
-  for (int i = 0; i < n_flows; ++i) {
-    const auto a = static_cast<core::NodeId>(fr.integer(n_nodes));
-    auto b = static_cast<core::NodeId>(fr.integer(n_nodes));
-    if (a == b) b = static_cast<core::NodeId>((b + 1) % n_nodes);
-    out.push_back({a, b});
-  }
-  return out;
-}
-
-exp::RunMetrics one_run(double speed, exp::Proto proto, std::uint64_t seed,
+exp::RunMetrics one_run(exp::ScenarioSpec spec, double speed,
+                        exp::Proto proto, std::uint64_t seed,
                         double duration) {
-  exp::ScenarioConfig sc;
-  sc.seed = seed;
-  sc.proto = proto;
-  auto net = exp::make_mobile(15, speed, sc);
-  exp::FlowManager fm(*net, proto);
-  for (const auto& [src, dst] : pick_flows(15, seed, 5))
-    fm.create(src, dst, 0, 10.0);
-  net->run_until(duration);
-  return fm.collect(duration);
+  spec.speed_mps = speed;
+  spec.proto = proto;
+  spec.seed = seed;
+  auto s = exp::build(spec);
+  s.network->run_until(duration);
+  return s.flows->collect(duration);
 }
 
 }  // namespace
@@ -51,19 +36,25 @@ int main(int argc, char** argv) {
   const std::size_t n_runs = opt.pick_runs(3, 10);
   const double duration = opt.pick_duration(1000.0, 4000.0);
 
-  std::printf("=== Figure 11: mobility (random waypoint, 15 nodes) ===\n");
+  const auto defaults = exp::preset("mobile");
+  auto base = defaults;
+  bench::apply_scenario(opt, base);
+  const auto protos =
+      opt.protos_or({exp::Proto::kJtp, exp::Proto::kAtp, exp::Proto::kTcp});
+  const auto speeds = bench::sweep_or(base.speed_mps, defaults.speed_mps,
+                                      {0.1, 1.0, 5.0});
+
+  std::printf("=== Figure 11: mobility (random waypoint, %zu nodes) ===\n",
+              base.net_size);
   std::printf("5 random flows, %.0f s, %zu runs\n\n", duration, n_runs);
   std::printf("E/b = energy per delivered bit (uJ/bit)\n");
 
-  auto rep = bench::make_report(opt, "",
-                                {{"speed_mps", 1},
-                                 {"jtp_uj_per_bit", 1, true},
-                                 {"atp_uj_per_bit", 1, true},
-                                 {"tcp_uj_per_bit", 1, true},
-                                 {"jtp_kbps", 3, true},
-                                 {"atp_kbps", 3, true},
-                                 {"tcp_kbps", 3, true}},
-                                15);
+  std::vector<sim::Column> cols{{"speed_mps", 1}};
+  for (const auto p : protos)
+    cols.push_back({exp::proto_name(p) + "_uj_per_bit", 1, true});
+  for (const auto p : protos)
+    cols.push_back({exp::proto_name(p) + "_kbps", 3, true});
+  auto rep = bench::make_report(opt, "", std::move(cols), 15);
   rep.begin();
 
   struct CachePoint {
@@ -72,14 +63,15 @@ int main(int argc, char** argv) {
   };
   std::vector<CachePoint> cache_points;
 
-  for (double speed : {0.1, 1.0, 5.0}) {
+  for (double speed : speeds) {
     std::vector<sim::Cell> row{speed};
     std::vector<sim::Cell> goodput_cells;
-    for (const auto proto :
-         {exp::Proto::kJtp, exp::Proto::kAtp, exp::Proto::kTcp}) {
+    for (const auto proto : protos) {
       auto runs = exp::run_seeds(
           n_runs, opt.seed,
-          [&](std::uint64_t s) { return one_run(speed, proto, s, duration); },
+          [&](std::uint64_t s) {
+            return one_run(base, speed, proto, s, duration);
+          },
           opt.jobs);
       row.push_back(exp::aggregate(runs, [](const exp::RunMetrics& m) {
         return m.energy_per_bit_uj();
@@ -109,16 +101,18 @@ int main(int argc, char** argv) {
   }
   bench::finish_report(rep);
 
-  std::printf("\n");
-  auto repc = bench::make_report(
-      opt, "(c) end-to-end vs locally recovered packets (JTP), normalized "
-           "by delivered data",
-      {{"speed_mps", 1}, {"source_rtx", 4, true}, {"cache_hits", 4, true}},
-      16, "cache");
-  repc.begin();
-  for (const auto& p : cache_points)
-    repc.row({p.speed, p.src_rtx, p.cache_hits});
-  bench::finish_report(repc);
+  if (!cache_points.empty()) {
+    std::printf("\n");
+    auto repc = bench::make_report(
+        opt, "(c) end-to-end vs locally recovered packets (JTP), normalized "
+             "by delivered data",
+        {{"speed_mps", 1}, {"source_rtx", 4, true}, {"cache_hits", 4, true}},
+        16, "cache");
+    repc.begin();
+    for (const auto& p : cache_points)
+      repc.row({p.speed, p.src_rtx, p.cache_hits});
+    bench::finish_report(repc);
+  }
 
   std::printf("\nexpected shape: energy/bit rises with speed for all; jtp "
               "stays lowest; cache hits remain a large share of recoveries "

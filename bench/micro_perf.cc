@@ -10,10 +10,13 @@
 #include <string>
 #include <vector>
 
+#include "baselines/tcp_sack.h"
 #include "core/cache.h"
+#include "core/env.h"
 #include "core/path_monitor.h"
 #include "core/rate_controller.h"
 #include "core/reliability.h"
+#include "core/transport.h"
 #include "mac/tdma_schedule.h"
 #include "sim/event_queue.h"
 #include "sim/random.h"
@@ -107,6 +110,80 @@ void BM_TdmaNextOwnedSlot(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_TdmaNextOwnedSlot)->Arg(8)->Arg(25);
+
+// ---------------------------------------------------------------------------
+// Cost of the polymorphic core::TransportReceiver interface on the
+// per-packet delivery path (PR: transport/scenario API redesign). The
+// node's handlers now hold a base pointer, so every delivered packet pays
+// one virtual on_data() dispatch that used to be a direct call. The pair
+// below runs the identical receiver both ways; the delta between them is
+// the indirection cost the redesign added to the hot path.
+// ---------------------------------------------------------------------------
+
+class NullEnv final : public core::Env {
+ public:
+  double now() const override { return 0.0; }
+  core::TimerId schedule(double, std::function<void()>) override {
+    return ++next_id_;  // timers never fire in this kernel
+  }
+  void cancel(core::TimerId) override {}
+
+ private:
+  core::TimerId next_id_ = 0;
+};
+
+class NullSink final : public core::PacketSink {
+ public:
+  void send(core::Packet) override {}
+};
+
+baselines::TcpConfig delivery_cfg() {
+  baselines::TcpConfig cfg;
+  cfg.flow = 1;
+  cfg.src = 0;
+  cfg.dst = 1;
+  return cfg;
+}
+
+core::Packet delivery_packet() {
+  core::Packet p;
+  p.type = core::PacketType::kData;
+  p.flow = 1;
+  p.src = 0;
+  p.dst = 1;
+  p.payload_bytes = core::kDefaultPayloadBytes;
+  return p;
+}
+
+void BM_TransportOnDataDirect(benchmark::State& state) {
+  NullEnv env;
+  NullSink sink;
+  baselines::TcpSackReceiver rcv(env, sink, delivery_cfg());
+  core::Packet p = delivery_packet();
+  core::SeqNo seq = 0;
+  for (auto _ : state) {
+    p.seq = seq++;
+    rcv.on_data(p);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TransportOnDataDirect);
+
+void BM_TransportOnDataVirtual(benchmark::State& state) {
+  NullEnv env;
+  NullSink sink;
+  baselines::TcpSackReceiver rcv(env, sink, delivery_cfg());
+  core::TransportReceiver* base = &rcv;
+  benchmark::DoNotOptimize(base);  // launder: keep the dispatch virtual
+  core::Packet p = delivery_packet();
+  core::SeqNo seq = 0;
+  for (auto _ : state) {
+    p.seq = seq++;
+    base->on_data(p);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TransportOnDataVirtual);
 
 }  // namespace
 

@@ -1,5 +1,5 @@
 // Table 2 (paper §6.2): the JAVeLEN testbed experiment, reproduced
-// synthetically.
+// synthetically (the "testbed" ScenarioSpec preset).
 //
 // The paper's testbed: 14 radios indoors; links stable and much better
 // than in simulation (multipath fading only); 30-minute experiments; each
@@ -9,7 +9,9 @@
 //
 // Substitution (see DESIGN.md): the same simulator configured with
 // fading disabled and low residual loss reproduces the testbed's regime.
+#include <cctype>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench_util.h"
@@ -21,30 +23,18 @@ using namespace jtp;
 
 namespace {
 
-exp::RunMetrics one_run(exp::Proto proto, std::uint64_t seed,
-                        double duration) {
-  exp::ScenarioConfig sc;
-  sc.seed = seed;
-  sc.proto = proto;
-  auto net = exp::make_testbed(sc);
-  exp::FlowManager fm(*net, proto);
+exp::RunMetrics one_run(exp::ScenarioSpec spec, exp::Proto proto,
+                        std::uint64_t seed, double duration) {
+  spec.proto = proto;
+  spec.seed = seed;
+  auto s = exp::build(spec);
+  s.network->run_until(duration);
+  return s.flows->collect(duration);
+}
 
-  // Poisson flow generation per node: mean interarrival 400 s, transfer
-  // 100 KB = 125 packets of 800 B.
-  sim::Rng rng(seed);
-  auto arr = rng.derive("arrivals");
-  const std::uint64_t k = 125;
-  for (core::NodeId src = 0; src < 14; ++src) {
-    double t = arr.exponential(400.0);
-    while (t < duration - 100.0) {
-      auto dst = static_cast<core::NodeId>(arr.integer(14));
-      if (dst == src) dst = (dst + 1) % 14;
-      fm.create(src, dst, k, t);
-      t += arr.exponential(400.0);
-    }
-  }
-  net->run_until(duration);
-  return fm.collect(duration);
+std::string upper(std::string s) {
+  for (auto& c : s) c = static_cast<char>(std::toupper(c));
+  return s;
 }
 
 }  // namespace
@@ -53,6 +43,11 @@ int main(int argc, char** argv) {
   const auto opt = bench::parse_options(argc, argv);
   const std::size_t n_runs = opt.pick_runs(3, 10);
   const double duration = 1800.0;  // 30 minutes, as in the paper
+
+  auto base = exp::preset("testbed");
+  bench::apply_scenario(opt, base);
+  const auto protos =
+      opt.protos_or({exp::Proto::kJtp, exp::Proto::kAtp, exp::Proto::kTcp});
 
   std::printf("=== Table 2: JAVeLEN system results (synthetic testbed) ===\n");
   std::printf("14 nodes, stable low-loss links, Poisson flows "
@@ -64,12 +59,12 @@ int main(int argc, char** argv) {
       {{"protocol", 0}, {"e_per_bit_mj", 5, true}, {"goodput_kbps", 3, true}},
       22);
   rep.begin();
-  for (const auto& [proto, name] :
-       {std::pair{exp::Proto::kJtp, "JTP"}, {exp::Proto::kAtp, "ATP"},
-        {exp::Proto::kTcp, "TCP"}}) {
+  for (const auto proto : protos) {
     auto runs = exp::run_seeds(
         n_runs, opt.seed,
-        [&, p = proto](std::uint64_t s) { return one_run(p, s, duration); },
+        [&, p = proto](std::uint64_t s) {
+          return one_run(base, p, s, duration);
+        },
         opt.jobs);
     const auto e = exp::aggregate(runs, [](const exp::RunMetrics& m) {
       return m.energy_per_bit_mj();
@@ -77,7 +72,7 @@ int main(int argc, char** argv) {
     const auto g = exp::aggregate(runs, [](const exp::RunMetrics& m) {
       return m.per_flow_goodput_kbps_mean;
     });
-    rep.row({name, e, g});
+    rep.row({upper(exp::proto_name(proto)), e, g});
   }
   bench::finish_report(rep);
   std::printf("\npaper's testbed values for reference: JTP 0.0054 mJ/bit "

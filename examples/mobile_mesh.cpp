@@ -14,12 +14,15 @@ int main(int argc, char** argv) {
   using namespace jtp;
   const double speed = argc > 1 ? std::atof(argv[1]) : 1.0;
 
-  exp::ScenarioConfig scenario;
-  scenario.seed = 99;
-  scenario.proto = exp::Proto::kJtp;
-  auto network = exp::make_mobile(12, speed, scenario);
-
-  exp::FlowManager flows(*network, exp::Proto::kJtp);
+  exp::ScenarioSpec spec;
+  spec.topology = exp::TopologyKind::kRandom;
+  spec.net_size = 12;
+  spec.speed_mps = speed;
+  spec.seed = 99;
+  spec.proto = exp::Proto::kJtp;
+  auto built = exp::build(spec);  // manual workload: flows attached below
+  auto& network = built.network;
+  auto& flows = *built.flows;
   flows.create(0, 11, 0, 5.0);
   flows.create(3, 8, 0, 10.0);
   flows.create(6, 1, 0, 15.0);

@@ -1,8 +1,10 @@
 // Quickstart: a JTP bulk transfer over a 5-node wireless chain.
 //
-// Builds a linear JAVeLEN-like network, attaches one JTP flow from node 0
-// to node 4, transfers 200 packets (160 KB) with full reliability, and
-// prints delivery/energy statistics.
+// Declares the whole experiment as a ScenarioSpec — topology, channel,
+// protocol, and workload — builds it, runs it, and prints delivery/energy
+// statistics. The same spec can be written as a string and passed to any
+// bench: --scenario 'net_size=5,workload=ends,flows=1,transfer=200'
+// (protocol and seed go through the dedicated --proto / --seed flags).
 //
 //   $ ./quickstart
 #include <cstdio>
@@ -14,25 +16,29 @@ int main() {
   using namespace jtp;
 
   // 1. Describe the scenario: 5 nodes in a chain, Gilbert-Elliott links
-  //    (10% of the time in a bad state), paper-default JTP parameters.
-  exp::ScenarioConfig scenario;
-  scenario.seed = 42;
-  scenario.proto = exp::Proto::kJtp;
-  auto network = exp::make_linear(/*net_size=*/5, scenario);
+  //    (10% of the time in a bad state), paper-default JTP parameters,
+  //    one fixed-size transfer (200 x 800 B) from end to end.
+  exp::ScenarioSpec spec;
+  spec.topology = exp::TopologyKind::kLinear;
+  spec.net_size = 5;
+  spec.seed = 42;
+  spec.proto = exp::Proto::kJtp;
+  spec.workload.kind = exp::WorkloadKind::kEnds;
+  spec.workload.n_flows = 1;
+  spec.workload.transfer_packets = 200;
+  spec.workload.loss_tolerance = 0.0;  // bulk data: deliver everything
 
-  // 2. Attach a JTP flow and start a fixed-size transfer.
-  exp::FlowManager flows(*network, exp::Proto::kJtp);
-  exp::FlowOptions options;
-  options.loss_tolerance = 0.0;  // bulk data: deliver everything
-  auto& flow = flows.create(/*src=*/0, /*dst=*/4, /*total_packets=*/200,
-                            /*start_delay_s=*/0.0, options);
+  // 2. Build it: network + flow manager, workload already attached.
+  auto scenario = exp::build(spec);
+  const auto& flow = *scenario.flows->flows().front();
 
   // 3. Run the simulation until the transfer completes (or 1 hour).
-  network->run_until(3600.0);
+  scenario.network->run_until(3600.0);
 
-  // 4. Report.
-  const auto m = flows.collect(network->simulator().now());
+  // 4. Report through the unified FlowHandle counters.
+  const auto m = scenario.flows->collect(scenario.network->simulator().now());
   std::printf("JTP quickstart: 200 x 800 B over a 5-node chain\n");
+  std::printf("  scenario:               %s\n", exp::to_string(spec).c_str());
   std::printf("  finished:               %s (t=%.1f s)\n",
               flow.finished() ? "yes" : "no", flow.completed_at);
   std::printf("  packets delivered:      %llu\n",

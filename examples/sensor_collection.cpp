@@ -16,12 +16,14 @@
 int main() {
   using namespace jtp;
 
-  exp::ScenarioConfig scenario;
-  scenario.seed = 17;
-  scenario.proto = exp::Proto::kJtp;
-  auto network = exp::make_random(10, scenario);
-
-  exp::FlowManager flows(*network, exp::Proto::kJtp);
+  exp::ScenarioSpec spec;
+  spec.topology = exp::TopologyKind::kRandom;
+  spec.net_size = 10;
+  spec.seed = 17;
+  spec.proto = exp::Proto::kJtp;
+  auto built = exp::build(spec);  // manual workload: flows attached below
+  auto& network = built.network;
+  auto& flows = *built.flows;
 
   // Node 0 is the sink; every other even node is a sensor pushing 24 KB
   // reports (fragments of 800 B payloads carry ~784 app bytes each).
@@ -51,8 +53,9 @@ int main() {
     opt.loss_tolerance = 0.05;  // readings are redundant across fragments
     auto& flow = flows.create(s, sink, next_seq, 5.0 * s, opt);
     sensor.flow = &flow;
-    // Reassemble at the sink as fragments are delivered.
-    flow.jtp.receiver->set_on_deliver(
+    // Reassemble at the sink as fragments are delivered (set_on_deliver is
+    // JTP-specific instrumentation, reached through the typed accessor).
+    flow.receiver_as<core::EjtpReceiver>()->set_on_deliver(
         [&sensor](core::SeqNo seq, std::uint32_t) {
           const auto it = sensor.by_seq.find(seq);
           if (it == sensor.by_seq.end()) return;

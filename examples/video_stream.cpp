@@ -15,14 +15,16 @@
 int main() {
   using namespace jtp;
 
-  exp::ScenarioConfig scenario;
-  scenario.seed = 7;
-  scenario.proto = exp::Proto::kJtp;
-  scenario.loss_good = 0.12;  // noisy environment
-  scenario.loss_bad = 0.60;
-  auto network = exp::make_linear(6, scenario);
-
-  exp::FlowManager flows(*network, exp::Proto::kJtp);
+  exp::ScenarioSpec spec;
+  spec.topology = exp::TopologyKind::kLinear;
+  spec.net_size = 6;
+  spec.seed = 7;
+  spec.proto = exp::Proto::kJtp;
+  spec.loss_good = 0.12;  // noisy environment
+  spec.loss_bad = 0.60;
+  auto built = exp::build(spec);  // manual workload: flows attached below
+  auto& network = built.network;
+  auto& flows = *built.flows;
 
   // Base layer: every packet matters; spend energy generously.
   exp::FlowOptions base;

@@ -20,6 +20,7 @@
 
 #include "core/env.h"
 #include "core/packet.h"
+#include "core/transport.h"
 #include "core/types.h"
 
 namespace jtp::baselines {
@@ -44,24 +45,26 @@ struct AtpConfig {
   std::uint64_t window_cap_packets = 4000;
 };
 
-class AtpSender {
+class AtpSender final : public core::TransportSender {
  public:
   AtpSender(core::Env& env, core::PacketSink& sink, AtpConfig cfg);
-  ~AtpSender();
+  ~AtpSender() override;
   AtpSender(const AtpSender&) = delete;
   AtpSender& operator=(const AtpSender&) = delete;
 
-  void start(std::uint64_t total_packets);
-  void stop();
-  void on_ack(const core::Packet& ack);
+  void start(std::uint64_t total_packets) override;
+  void stop() override;
+  void on_ack(const core::Packet& ack) override;
 
-  bool finished() const;
-  void set_on_complete(std::function<void()> cb) {
+  bool finished() const override;
+  void set_on_complete(std::function<void()> cb) override {
     on_complete_ = std::move(cb);
   }
   double rate_pps() const { return rate_pps_; }
-  std::uint64_t data_packets_sent() const { return data_sent_; }
-  std::uint64_t source_retransmissions() const { return source_rtx_; }
+  std::uint64_t data_packets_sent() const override { return data_sent_; }
+  std::uint64_t source_retransmissions() const override {
+    return source_rtx_;
+  }
   core::SeqNo cumulative_ack() const { return cum_ack_; }
 
  private:
@@ -95,20 +98,20 @@ class AtpSender {
   bool complete_reported_ = false;
 };
 
-class AtpReceiver {
+class AtpReceiver final : public core::TransportReceiver {
  public:
   AtpReceiver(core::Env& env, core::PacketSink& sink, AtpConfig cfg);
-  ~AtpReceiver();
+  ~AtpReceiver() override;
   AtpReceiver(const AtpReceiver&) = delete;
   AtpReceiver& operator=(const AtpReceiver&) = delete;
 
-  void start();
-  void stop();
-  void on_data(const core::Packet& p);
+  void start() override;
+  void stop() override;
+  void on_data(const core::Packet& p) override;
 
-  std::uint64_t delivered_packets() const { return delivered_; }
-  double delivered_payload_bits() const { return delivered_bits_; }
-  std::uint64_t acks_sent() const { return acks_sent_; }
+  std::uint64_t delivered_packets() const override { return delivered_; }
+  double delivered_payload_bits() const override { return delivered_bits_; }
+  std::uint64_t acks_sent() const override { return acks_sent_; }
   double smoothed_rate_pps() const { return rate_ewma_; }
 
  private:

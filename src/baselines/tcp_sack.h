@@ -20,6 +20,7 @@
 
 #include "core/env.h"
 #include "core/packet.h"
+#include "core/transport.h"
 #include "core/types.h"
 
 namespace jtp::baselines {
@@ -47,26 +48,28 @@ struct TcpConfig {
 // round-trip time rtt, retransmission timeout t0 and b packets per ACK.
 double pftk_rate_pps(double p, double rtt_s, double rto_s, double b = 2.0);
 
-class TcpSackSender {
+class TcpSackSender final : public core::TransportSender {
  public:
   TcpSackSender(core::Env& env, core::PacketSink& sink, TcpConfig cfg);
-  ~TcpSackSender();
+  ~TcpSackSender() override;
   TcpSackSender(const TcpSackSender&) = delete;
   TcpSackSender& operator=(const TcpSackSender&) = delete;
 
-  void start(std::uint64_t total_packets);  // 0 = unbounded
-  void stop();
-  void on_ack(const core::Packet& ack);
+  void start(std::uint64_t total_packets) override;  // 0 = unbounded
+  void stop() override;
+  void on_ack(const core::Packet& ack) override;
 
-  bool finished() const;
-  void set_on_complete(std::function<void()> cb) {
+  bool finished() const override;
+  void set_on_complete(std::function<void()> cb) override {
     on_complete_ = std::move(cb);
   }
   double rate_pps() const { return rate_pps_; }
   double srtt() const { return srtt_; }
   double loss_estimate() const { return loss_est_; }
-  std::uint64_t data_packets_sent() const { return data_sent_; }
-  std::uint64_t source_retransmissions() const { return source_rtx_; }
+  std::uint64_t data_packets_sent() const override { return data_sent_; }
+  std::uint64_t source_retransmissions() const override {
+    return source_rtx_;
+  }
   std::uint64_t timeouts() const { return timeouts_; }
   core::SeqNo cumulative_ack() const { return cum_ack_; }
 
@@ -108,15 +111,20 @@ class TcpSackSender {
   bool complete_reported_ = false;
 };
 
-class TcpSackReceiver {
+class TcpSackReceiver final : public core::TransportReceiver {
  public:
   TcpSackReceiver(core::Env& env, core::PacketSink& sink, TcpConfig cfg);
 
-  void on_data(const core::Packet& p);
+  // TCP's receiver is purely reactive (ACKs are clocked by data), so the
+  // lifecycle hooks have nothing to arm or cancel.
+  void start() override {}
+  void stop() override {}
 
-  std::uint64_t delivered_packets() const { return delivered_; }
-  double delivered_payload_bits() const { return delivered_bits_; }
-  std::uint64_t acks_sent() const { return acks_sent_; }
+  void on_data(const core::Packet& p) override;
+
+  std::uint64_t delivered_packets() const override { return delivered_; }
+  double delivered_payload_bits() const override { return delivered_bits_; }
+  std::uint64_t acks_sent() const override { return acks_sent_; }
 
  private:
   void send_ack(double echo_time);

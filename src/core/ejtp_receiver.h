@@ -26,6 +26,7 @@
 #include "core/path_monitor.h"
 #include "core/rate_controller.h"
 #include "core/seq_tracker.h"
+#include "core/transport.h"
 #include "core/types.h"
 
 namespace jtp::core {
@@ -62,26 +63,30 @@ struct ReceiverConfig {
   RateControllerConfig rate;
 };
 
-class EjtpReceiver {
+class EjtpReceiver final : public TransportReceiver {
  public:
   EjtpReceiver(Env& env, PacketSink& sink, ReceiverConfig cfg);
-  ~EjtpReceiver();
+  ~EjtpReceiver() override;
   EjtpReceiver(const EjtpReceiver&) = delete;
   EjtpReceiver& operator=(const EjtpReceiver&) = delete;
 
-  void start();
-  void stop();
+  void start() override;
+  void stop() override;
 
   // Called by the node when a data packet of this flow arrives.
-  void on_data(const Packet& p);
+  void on_data(const Packet& p) override;
 
   // --- instrumentation ---
-  std::uint64_t acks_sent() const { return acks_sent_; }
+  std::uint64_t acks_sent() const override { return acks_sent_; }
   std::uint64_t triggered_acks() const { return triggered_acks_; }
-  std::uint64_t delivered_packets() const { return tracker_.received_count(); }
-  std::uint64_t waived_packets() const { return tracker_.waived_count(); }
+  std::uint64_t delivered_packets() const override {
+    return tracker_.received_count();
+  }
+  std::uint64_t waived_packets() const override {
+    return tracker_.waived_count();
+  }
   std::uint64_t duplicates() const { return tracker_.duplicate_count(); }
-  double delivered_payload_bits() const { return delivered_bits_; }
+  double delivered_payload_bits() const override { return delivered_bits_; }
   double current_feedback_period() const;
   double advertised_rate_pps() const { return controller_.rate(); }
   const PathMonitor& rate_monitor() const { return rate_monitor_; }

@@ -23,6 +23,7 @@
 
 #include "core/env.h"
 #include "core/packet.h"
+#include "core/transport.h"
 #include "core/types.h"
 
 namespace jtp::core {
@@ -51,28 +52,32 @@ struct SenderConfig {
   bool backoff_for_local_recovery = true;   // ablation switch (Fig. 5)
 };
 
-class EjtpSender {
+class EjtpSender final : public TransportSender {
  public:
   // `sink` outlives the sender; packets handed to it enter the node stack.
   EjtpSender(Env& env, PacketSink& sink, SenderConfig cfg);
-  ~EjtpSender();
+  ~EjtpSender() override;
   EjtpSender(const EjtpSender&) = delete;
   EjtpSender& operator=(const EjtpSender&) = delete;
 
   // Starts a bulk transfer of `total_packets` (0 = unbounded/long-lived).
-  void start(std::uint64_t total_packets);
-  void stop();
+  void start(std::uint64_t total_packets) override;
+  void stop() override;
 
   // Called by the node when an ACK for this flow reaches the source.
-  void on_ack(const Packet& ack);
+  void on_ack(const Packet& ack) override;
 
-  bool finished() const;
-  void set_on_complete(std::function<void()> cb) { on_complete_ = std::move(cb); }
+  bool finished() const override;
+  void set_on_complete(std::function<void()> cb) override {
+    on_complete_ = std::move(cb);
+  }
 
   // --- instrumentation ---
   double rate_pps() const { return rate_pps_; }
-  std::uint64_t data_packets_sent() const { return data_sent_; }
-  std::uint64_t source_retransmissions() const { return source_rtx_; }
+  std::uint64_t data_packets_sent() const override { return data_sent_; }
+  std::uint64_t source_retransmissions() const override {
+    return source_rtx_;
+  }
   std::uint64_t locally_recovered_reported() const { return local_recovered_; }
   std::uint64_t acks_received() const { return acks_received_; }
   std::uint64_t rate_backoffs() const { return watchdog_backoffs_; }

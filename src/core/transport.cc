@@ -1,0 +1,23 @@
+#include "core/transport.h"
+
+namespace jtp::core {
+
+std::string proto_name(Proto p) {
+  switch (p) {
+    case Proto::kJtp: return "jtp";
+    case Proto::kJnc: return "jnc";
+    case Proto::kTcp: return "tcp";
+    case Proto::kAtp: return "atp";
+  }
+  return "?";
+}
+
+std::optional<Proto> parse_proto(std::string_view name) {
+  if (name == "jtp") return Proto::kJtp;
+  if (name == "jnc") return Proto::kJnc;
+  if (name == "tcp") return Proto::kTcp;
+  if (name == "atp") return Proto::kAtp;
+  return std::nullopt;
+}
+
+}  // namespace jtp::core

@@ -4,88 +4,14 @@
 
 namespace jtp::exp {
 
-std::string proto_name(Proto p) {
-  switch (p) {
-    case Proto::kJtp: return "jtp";
-    case Proto::kJnc: return "jnc";
-    case Proto::kTcp: return "tcp";
-    case Proto::kAtp: return "atp";
-  }
-  return "?";
-}
-
 FlowManager::FlowManager(net::Network& network, Proto proto)
     : net_(network), proto_(proto) {
-  if (proto == Proto::kJnc && network.config().node.ijtp.caching_enabled)
+  if (!net::TransportRegistry::instance().caching_enabled(proto) &&
+      network.config().node.ijtp.caching_enabled)
     throw std::invalid_argument(
-        "FlowManager: kJnc requires a network built with caching disabled "
-        "(see scenario builders)");
-}
-
-double FlowManager::FlowHandle::delivered_bits() const {
-  switch (proto) {
-    case Proto::kJtp:
-    case Proto::kJnc: return jtp.receiver->delivered_payload_bits();
-    case Proto::kTcp: return tcp.receiver->delivered_payload_bits();
-    case Proto::kAtp: return atp.receiver->delivered_payload_bits();
-  }
-  return 0.0;
-}
-
-std::uint64_t FlowManager::FlowHandle::delivered_packets() const {
-  switch (proto) {
-    case Proto::kJtp:
-    case Proto::kJnc: return jtp.receiver->delivered_packets();
-    case Proto::kTcp: return tcp.receiver->delivered_packets();
-    case Proto::kAtp: return atp.receiver->delivered_packets();
-  }
-  return 0;
-}
-
-std::uint64_t FlowManager::FlowHandle::waived_packets() const {
-  if (proto == Proto::kJtp || proto == Proto::kJnc)
-    return jtp.receiver->waived_packets();
-  return 0;
-}
-
-std::uint64_t FlowManager::FlowHandle::data_sent() const {
-  switch (proto) {
-    case Proto::kJtp:
-    case Proto::kJnc: return jtp.sender->data_packets_sent();
-    case Proto::kTcp: return tcp.sender->data_packets_sent();
-    case Proto::kAtp: return atp.sender->data_packets_sent();
-  }
-  return 0;
-}
-
-std::uint64_t FlowManager::FlowHandle::source_rtx() const {
-  switch (proto) {
-    case Proto::kJtp:
-    case Proto::kJnc: return jtp.sender->source_retransmissions();
-    case Proto::kTcp: return tcp.sender->source_retransmissions();
-    case Proto::kAtp: return atp.sender->source_retransmissions();
-  }
-  return 0;
-}
-
-std::uint64_t FlowManager::FlowHandle::acks_sent() const {
-  switch (proto) {
-    case Proto::kJtp:
-    case Proto::kJnc: return jtp.receiver->acks_sent();
-    case Proto::kTcp: return tcp.receiver->acks_sent();
-    case Proto::kAtp: return atp.receiver->acks_sent();
-  }
-  return 0;
-}
-
-bool FlowManager::FlowHandle::finished() const {
-  switch (proto) {
-    case Proto::kJtp:
-    case Proto::kJnc: return jtp.sender->finished();
-    case Proto::kTcp: return tcp.sender->finished();
-    case Proto::kAtp: return atp.sender->finished();
-  }
-  return false;
+        "FlowManager: '" + proto_name(proto) +
+        "' requires a network built with caching disabled "
+        "(see exp::build / make_network_config)");
 }
 
 FlowManager::FlowHandle& FlowManager::create(core::NodeId src,
@@ -94,103 +20,25 @@ FlowManager::FlowHandle& FlowManager::create(core::NodeId src,
                                              double start_delay_s,
                                              FlowOptions opt) {
   auto handle = std::make_unique<FlowHandle>();
-  handle->proto = proto_;
-  handle->src = src;
-  handle->dst = dst;
+  static_cast<net::FlowHandle&>(*handle) =
+      net_.add_flow(proto_, src, dst, opt);
   handle->start_time = net_.simulator().now() + start_delay_s;
   handle->total_packets = total_packets;
 
-  const double capacity = net_.schedule().node_capacity_pps();
-  const int hops = net_.routing().hops(src, dst).value_or(1);
-  const double rtt_est =
-      2.0 * hops * net_.schedule().frame_duration() * 1.5;  // with retries
+  auto* snd = handle->sender;
+  auto* rcv = handle->receiver;
+  // Teardown: once the source has everything acknowledged, silence the
+  // receiver's feedback machinery (connection close analogue) and record
+  // the completion time for goodput accounting.
+  snd->set_on_complete([this, rcv, h = handle.get()] {
+    h->completed_at = net_.simulator().now();
+    rcv->stop();
+  });
+  net_.simulator().schedule(start_delay_s, [snd, rcv, total_packets] {
+    rcv->start();
+    snd->start(total_packets);
+  });
 
-  switch (proto_) {
-    case Proto::kJtp:
-    case Proto::kJnc: {
-      // A flow can never exceed the TDMA per-node share (every hop must
-      // relay it from its own slots); a rate floor well above zero keeps
-      // the control loop observable (samples arrive with data packets).
-      const double rate_cap = std::min(opt.app_delivery_cap_pps, capacity);
-      const double rate_floor = std::max(0.1, 0.07 * capacity);
-
-      core::SenderConfig s;
-      s.src = src;
-      s.dst = dst;
-      s.loss_tolerance = opt.loss_tolerance;
-      s.initial_rate_pps = opt.initial_rate_pps;
-      s.initial_energy_budget = opt.initial_energy_budget;
-      s.backoff_for_local_recovery = opt.backoff_for_local_recovery;
-      s.min_rate_pps = rate_floor;
-
-      core::ReceiverConfig r;
-      r.loss_tolerance = opt.loss_tolerance;
-      r.feedback_mode = opt.feedback_mode;
-      r.constant_feedback_rate_pps = opt.constant_feedback_rate_pps;
-      r.t_lower_bound_s = opt.t_lower_bound_s;
-      r.rtt_estimate_s = rtt_est;
-      r.energy_beta = opt.energy_beta;
-      r.app_delivery_cap_pps = opt.app_delivery_cap_pps;
-      r.monitor = opt.monitor;
-      r.rate.initial_rate_pps = opt.initial_rate_pps;
-      r.rate.delta_pps = 0.15 * capacity;  // headroom target δ
-      r.rate.min_rate_pps = rate_floor;
-      r.rate.max_rate_pps = rate_cap;
-
-      handle->jtp = net_.add_jtp_flow(s, r);
-      auto* snd = handle->jtp.sender;
-      auto* rcv = handle->jtp.receiver;
-      // Teardown: once the source has everything acknowledged, silence the
-      // receiver's feedback machinery (connection close analogue) and
-      // record the completion time for goodput accounting.
-      snd->set_on_complete([this, rcv, h = handle.get()] {
-        h->completed_at = net_.simulator().now();
-        rcv->stop();
-      });
-      net_.simulator().schedule(start_delay_s, [snd, rcv, total_packets] {
-        rcv->start();
-        snd->start(total_packets);
-      });
-      break;
-    }
-    case Proto::kTcp: {
-      baselines::TcpConfig c;
-      c.src = src;
-      c.dst = dst;
-      c.initial_rate_pps = opt.initial_rate_pps;
-      c.initial_rtt_s = rtt_est;
-      c.max_rate_pps = 4.0 * capacity;
-      handle->tcp = net_.add_tcp_flow(c);
-      auto* snd = handle->tcp.sender;
-      snd->set_on_complete([this, h = handle.get()] {
-        h->completed_at = net_.simulator().now();
-      });
-      net_.simulator().schedule(start_delay_s, [snd, total_packets] {
-        snd->start(total_packets);
-      });
-      break;
-    }
-    case Proto::kAtp: {
-      baselines::AtpConfig c;
-      c.src = src;
-      c.dst = dst;
-      c.initial_rate_pps = opt.initial_rate_pps;
-      c.feedback_period_s = std::max(3.0, 1.1 * rtt_est);  // D > RTT
-      c.max_rate_pps = 4.0 * capacity;
-      handle->atp = net_.add_atp_flow(c);
-      auto* snd = handle->atp.sender;
-      auto* rcv = handle->atp.receiver;
-      snd->set_on_complete([this, rcv, h = handle.get()] {
-        h->completed_at = net_.simulator().now();
-        rcv->stop();
-      });
-      net_.simulator().schedule(start_delay_s, [snd, rcv, total_packets] {
-        rcv->start();
-        snd->start(total_packets);
-      });
-      break;
-    }
-  }
   flows_.push_back(std::move(handle));
   return *flows_.back();
 }

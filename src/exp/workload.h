@@ -1,16 +1,15 @@
-// Flow management across the three transports under test.
+// Flow management across the transports under test.
 //
-// FlowManager attaches flows of a chosen protocol to a Network with
-// consistent defaults, tracks them, and aggregates RunMetrics afterwards.
-// Protocols (paper §6.1):
-//   kJtp — the full protocol;
-//   kJnc — JTP with in-network caching disabled (Fig. 4);
-//   kTcp — rate-based TCP-SACK;
-//   kAtp — ATP-like explicit-rate protocol.
+// FlowManager attaches flows of a chosen protocol to a Network through
+// the unified Network::add_flow / net::FlowHandle API, schedules their
+// start, tracks completion times, and aggregates RunMetrics afterwards.
+// It contains no per-protocol code: protocol defaults live in the
+// TransportRegistry factories (paper §6.1 protocols: kJtp, kJnc, kTcp,
+// kAtp).
 #pragma once
 
 #include <cstdint>
-#include <string>
+#include <memory>
 #include <vector>
 
 #include "exp/metrics.h"
@@ -18,50 +17,24 @@
 
 namespace jtp::exp {
 
-enum class Proto { kJtp, kJnc, kTcp, kAtp };
-
-std::string proto_name(Proto p);
-
-// Per-flow knobs that individual experiments vary.
-struct FlowOptions {
-  double loss_tolerance = 0.0;
-  double initial_rate_pps = 1.0;
-  core::FeedbackMode feedback_mode = core::FeedbackMode::kVariable;
-  double constant_feedback_rate_pps = 0.2;  // used in kConstant mode
-  double t_lower_bound_s = 10.0;
-  bool backoff_for_local_recovery = true;
-  // β in e = β·eUCL (eq. 13). Must cover the worst legitimate delivery:
-  // a packet that needs the full MAC attempt budget on several bad-state
-  // links costs ~4-5x the typical path energy, so β below ~4 makes the
-  // budget kill packets the reliability machinery then has to repair.
-  double energy_beta = 5.0;
-  double app_delivery_cap_pps = 1e6;
-  core::Joules initial_energy_budget = 0.0;  // 0 = unbudgeted at start
-  core::PathMonitorConfig monitor;           // flip-flop filter knobs
-};
+using net::FlowOptions;
+using net::Proto;
+using core::parse_proto;
+using core::proto_name;
 
 class FlowManager {
  public:
+  // Throws std::invalid_argument when `proto` forbids in-network caching
+  // (e.g. kJnc) but the network was built with caching enabled — the
+  // scenario layer must build the network to match the protocol.
   FlowManager(net::Network& network, Proto proto);
 
-  struct FlowHandle {
-    Proto proto;
-    core::NodeId src;
-    core::NodeId dst;
+  // One managed flow: the uniform transport handle plus the experiment
+  // bookkeeping (start/completion times) goodput accounting needs.
+  struct FlowHandle : net::FlowHandle {
     double start_time = 0.0;
     double completed_at = -1.0;  // < 0 until the transfer finishes
     std::uint64_t total_packets = 0;  // 0 = long-lived
-    net::JtpFlow jtp;
-    net::TcpFlow tcp;
-    net::AtpFlow atp;
-
-    double delivered_bits() const;
-    std::uint64_t delivered_packets() const;
-    std::uint64_t waived_packets() const;
-    std::uint64_t data_sent() const;
-    std::uint64_t source_rtx() const;
-    std::uint64_t acks_sent() const;
-    bool finished() const;
   };
 
   // Creates a flow and starts it after `start_delay_s` (sim time offset

@@ -38,73 +38,50 @@ Network::Network(phy::Topology topology, NetworkConfig cfg)
 
 Network::~Network() = default;
 
-core::FlowId Network::allocate_flow(TransportKind kind) {
+core::FlowId Network::allocate_flow(HopPolicy policy) {
   const core::FlowId id = next_flow_id_++;
-  flows_.register_flow(id, kind);
+  flows_.register_flow(id, policy);
   return id;
 }
 
-JtpFlow Network::add_jtp_flow(core::SenderConfig scfg,
-                              core::ReceiverConfig rcfg) {
-  if (scfg.src >= size() || scfg.dst >= size())
-    throw std::invalid_argument("add_jtp_flow: endpoint out of range");
-  const core::FlowId flow = allocate_flow(TransportKind::kJtp);
-  scfg.flow = flow;
-  rcfg.flow = flow;
-  rcfg.src = scfg.src;
-  rcfg.dst = scfg.dst;
-  rcfg.cache_size_packets = cfg_.node.ijtp.cache_capacity_packets;
+FlowHandle Network::add_flow(Proto proto, core::NodeId src, core::NodeId dst,
+                             const FlowOptions& opt) {
+  if (src >= size() || dst >= size())
+    throw std::invalid_argument("add_flow: endpoint out of range");
+  const TransportInfo& info = TransportRegistry::instance().info(proto);
 
-  jtp_senders_.push_back(std::make_unique<core::EjtpSender>(
-      env_, node(scfg.src), scfg));
-  jtp_receivers_.push_back(std::make_unique<core::EjtpReceiver>(
-      env_, node(scfg.dst), rcfg));
-  auto* snd = jtp_senders_.back().get();
-  auto* rcv = jtp_receivers_.back().get();
+  // Path facts for the factory's defaults: TDMA share, current hop count,
+  // and a pessimistic (with-retries) RTT estimate.
+  PathInfo path;
+  path.node_capacity_pps = schedule_.node_capacity_pps();
+  path.hops = routing_->hops(src, dst).value_or(1);
+  path.rtt_estimate_s = 2.0 * path.hops * schedule_.frame_duration() * 1.5;
 
-  node(scfg.dst).attach_data_handler(
+  const core::FlowId flow = allocate_flow(info.hop_policy);
+  TransportEndpoints eps = info.factory->make(*this, flow, src, dst, opt,
+                                              path);
+  if (!eps.sender || !eps.receiver)
+    throw std::logic_error("add_flow: factory for '" +
+                           core::proto_name(proto) +
+                           "' returned an incomplete endpoint pair");
+  auto* snd = eps.sender.get();
+  auto* rcv = eps.receiver.get();
+  senders_.push_back(std::move(eps.sender));
+  receivers_.push_back(std::move(eps.receiver));
+
+  node(dst).attach_data_handler(
       flow, [rcv](const core::Packet& p) { rcv->on_data(p); });
-  node(scfg.src).attach_ack_handler(
+  node(src).attach_ack_handler(
       flow, [snd](const core::Packet& p) { snd->on_ack(p); });
-  return {snd, rcv};
-}
 
-TcpFlow Network::add_tcp_flow(baselines::TcpConfig cfg) {
-  if (cfg.src >= size() || cfg.dst >= size())
-    throw std::invalid_argument("add_tcp_flow: endpoint out of range");
-  cfg.flow = allocate_flow(TransportKind::kTcp);
-
-  tcp_senders_.push_back(
-      std::make_unique<baselines::TcpSackSender>(env_, node(cfg.src), cfg));
-  tcp_receivers_.push_back(
-      std::make_unique<baselines::TcpSackReceiver>(env_, node(cfg.dst), cfg));
-  auto* snd = tcp_senders_.back().get();
-  auto* rcv = tcp_receivers_.back().get();
-
-  node(cfg.dst).attach_data_handler(
-      cfg.flow, [rcv](const core::Packet& p) { rcv->on_data(p); });
-  node(cfg.src).attach_ack_handler(
-      cfg.flow, [snd](const core::Packet& p) { snd->on_ack(p); });
-  return {snd, rcv};
-}
-
-AtpFlow Network::add_atp_flow(baselines::AtpConfig cfg) {
-  if (cfg.src >= size() || cfg.dst >= size())
-    throw std::invalid_argument("add_atp_flow: endpoint out of range");
-  cfg.flow = allocate_flow(TransportKind::kAtp);
-
-  atp_senders_.push_back(
-      std::make_unique<baselines::AtpSender>(env_, node(cfg.src), cfg));
-  atp_receivers_.push_back(
-      std::make_unique<baselines::AtpReceiver>(env_, node(cfg.dst), cfg));
-  auto* snd = atp_senders_.back().get();
-  auto* rcv = atp_receivers_.back().get();
-
-  node(cfg.dst).attach_data_handler(
-      cfg.flow, [rcv](const core::Packet& p) { rcv->on_data(p); });
-  node(cfg.src).attach_ack_handler(
-      cfg.flow, [snd](const core::Packet& p) { snd->on_ack(p); });
-  return {snd, rcv};
+  FlowHandle h;
+  h.proto = proto;
+  h.id = flow;
+  h.src = src;
+  h.dst = dst;
+  h.sender = snd;
+  h.receiver = rcv;
+  return h;
 }
 
 void Network::run_until(double t) {

@@ -1,24 +1,24 @@
 // Network: owns the whole simulated system and wires flows onto it.
 //
 // One Network = one simulation run: simulator, topology, channel, energy
-// model, TDMA schedule, routing service, one MAC + Node per vertex, and a
-// registry of transport endpoints (JTP / TCP-SACK / ATP) attached to
-// nodes. This is the "adaptation layer" through which experiments and
-// examples use the library.
+// model, TDMA schedule, routing service, one MAC + Node per vertex, and
+// the transport endpoints attached to nodes. Flows attach through one
+// polymorphic entry point — add_flow(proto, src, dst, opts) — which
+// resolves the protocol in the TransportRegistry; the Network itself
+// knows no protocol names. This is the "adaptation layer" through which
+// experiments and examples use the library.
 #pragma once
 
 #include <memory>
 #include <optional>
 #include <vector>
 
-#include "baselines/atp.h"
-#include "baselines/tcp_sack.h"
-#include "core/ejtp_receiver.h"
-#include "core/ejtp_sender.h"
+#include "core/transport.h"
 #include "mac/tdma_mac.h"
 #include "mac/tdma_schedule.h"
 #include "net/node.h"
 #include "net/sim_env.h"
+#include "net/transport.h"
 #include "phy/channel.h"
 #include "phy/energy_model.h"
 #include "phy/mobility.h"
@@ -40,19 +40,6 @@ struct NetworkConfig {
   std::optional<phy::MobilityConfig> mobility;  // engaged => nodes move
 };
 
-struct JtpFlow {
-  core::EjtpSender* sender = nullptr;
-  core::EjtpReceiver* receiver = nullptr;
-};
-struct TcpFlow {
-  baselines::TcpSackSender* sender = nullptr;
-  baselines::TcpSackReceiver* receiver = nullptr;
-};
-struct AtpFlow {
-  baselines::AtpSender* sender = nullptr;
-  baselines::AtpReceiver* receiver = nullptr;
-};
-
 class Network {
  public:
   Network(phy::Topology topology, NetworkConfig cfg = {});
@@ -61,12 +48,17 @@ class Network {
   Network& operator=(const Network&) = delete;
 
   // --- flow attachment (endpoints are owned by the network) ---
-  JtpFlow add_jtp_flow(core::SenderConfig scfg, core::ReceiverConfig rcfg);
-  TcpFlow add_tcp_flow(baselines::TcpConfig cfg);
-  AtpFlow add_atp_flow(baselines::AtpConfig cfg);
+  // Builds the proto's endpoint pair through the TransportRegistry, wires
+  // it to the src/dst nodes, and returns the uniform handle. The flow is
+  // idle until start() is invoked on it (FlowManager does the
+  // scheduling). Throws std::invalid_argument on out-of-range endpoints
+  // or an unregistered protocol.
+  FlowHandle add_flow(Proto proto, core::NodeId src, core::NodeId dst,
+                      const FlowOptions& opt = {});
 
   // --- access ---
   sim::Simulator& simulator() { return sim_; }
+  core::Env& env() { return env_; }
   phy::Topology& topology() { return topo_; }
   phy::Channel& channel() { return channel_; }
   phy::EnergyModel& energy() { return energy_; }
@@ -108,17 +100,15 @@ class Network {
   std::vector<std::unique_ptr<Node>> nodes_;
   bool started_ = false;
 
-  // Endpoint storage (stable addresses).
-  std::vector<std::unique_ptr<core::EjtpSender>> jtp_senders_;
-  std::vector<std::unique_ptr<core::EjtpReceiver>> jtp_receivers_;
-  std::vector<std::unique_ptr<baselines::TcpSackSender>> tcp_senders_;
-  std::vector<std::unique_ptr<baselines::TcpSackReceiver>> tcp_receivers_;
-  std::vector<std::unique_ptr<baselines::AtpSender>> atp_senders_;
-  std::vector<std::unique_ptr<baselines::AtpReceiver>> atp_receivers_;
+  // Endpoint storage (stable addresses; destroyed before nodes/macs by
+  // reverse member order).
+  std::vector<std::unique_ptr<core::TransportSender>> senders_;
+  std::vector<std::unique_ptr<core::TransportReceiver>> receivers_;
 
  public:
-  // Allocates a fresh flow id (visible for custom wiring in tests).
-  core::FlowId allocate_flow(TransportKind kind);
+  // Allocates a fresh flow id under a hop policy (visible for custom
+  // wiring in tests).
+  core::FlowId allocate_flow(HopPolicy policy);
   FlowTable& flow_table() { return flows_; }
 };
 

@@ -45,8 +45,8 @@ mac::PreXmitDecision Node::pre_xmit(core::Packet& p, core::NodeId /*next_hop*/,
                                     const core::LinkView& link,
                                     core::Joules tx_energy,
                                     bool first_attempt) {
-  switch (flows_.kind(p.flow)) {
-    case TransportKind::kJtp: {
+  switch (flows_.policy(p.flow)) {
+    case HopPolicy::kIjtp: {
       // JTP's congestion-avoidance twist: the idle-slot estimate looks
       // backward, but standing queue backlog is committed future usage.
       // Discounting it turns the stamped available rate down *before* the
@@ -63,7 +63,7 @@ mac::PreXmitDecision Node::pre_xmit(core::Packet& p, core::NodeId /*next_hop*/,
                                     tx_energy, first_attempt);
       return {r.drop, r.max_attempts};
     }
-    case TransportKind::kAtp: {
+    case HopPolicy::kRateStamp: {
       // ATP stamps the rate implied by queueing + transmission delay,
       // R = 1/(Q̄ + T̄) (Sundaresan et al. [34]): the bottleneck's *total*
       // sustainable rate, not its idle share. Every competing flow is
@@ -81,7 +81,7 @@ mac::PreXmitDecision Node::pre_xmit(core::Packet& p, core::NodeId /*next_hop*/,
       }
       return {false, cfg_.baseline_max_attempts};
     }
-    case TransportKind::kTcp:
+    case HopPolicy::kPlain:
       return {false, cfg_.baseline_max_attempts};
   }
   return {false, cfg_.baseline_max_attempts};
@@ -94,7 +94,7 @@ void Node::handle_delivery(core::Packet&& p, core::NodeId /*from*/) {
   // flows: cache traversing data, serve SNACKs from the cache (queued
   // toward the data destination), rewrite the ACK's locally-recovered set
   // before it continues upstream.
-  if (!local && flows_.kind(p.flow) == TransportKind::kJtp) {
+  if (!local && flows_.policy(p.flow) == HopPolicy::kIjtp) {
     ijtp_.post_rcv(
         p, [this](core::Packet&& rtx) { return try_send(std::move(rtx)); });
   }

@@ -6,7 +6,7 @@
 //              iJTP Algorithm 1 for JTP flows) -> air;
 //   inbound:   air -> (post-receive hook: iJTP Algorithm 2 — cache data,
 //              serve SNACKs from cache) -> local delivery or forward.
-// Which treatment a packet gets depends on its flow's transport kind,
+// Which treatment a packet gets depends on its flow's hop policy,
 // looked up in the network-wide flow table.
 #pragma once
 
@@ -22,21 +22,30 @@
 
 namespace jtp::net {
 
-enum class TransportKind : std::uint8_t { kJtp, kTcp, kAtp };
+// The in-network half of a transport: how intermediate hops treat a
+// flow's packets. This is a small closed set of per-hop behaviours — an
+// open-ended set of end-to-end protocols (see net::TransportRegistry)
+// picks from it at registration time, so a new protocol needs no edits
+// here.
+enum class HopPolicy : std::uint8_t {
+  kIjtp,       // Algorithms 1-2: attempt control, caching, SNACK service
+  kRateStamp,  // ATP-style available-rate stamping, fixed attempts
+  kPlain,      // no in-network help, fixed attempts (TCP)
+};
 
-// Shared flow -> transport registry (one per Network).
+// Shared flow -> hop-policy registry (one per Network).
 class FlowTable {
  public:
-  void register_flow(core::FlowId flow, TransportKind kind) {
-    kinds_[flow] = kind;
+  void register_flow(core::FlowId flow, HopPolicy policy) {
+    policies_[flow] = policy;
   }
-  TransportKind kind(core::FlowId flow) const {
-    auto it = kinds_.find(flow);
-    return it == kinds_.end() ? TransportKind::kJtp : it->second;
+  HopPolicy policy(core::FlowId flow) const {
+    auto it = policies_.find(flow);
+    return it == policies_.end() ? HopPolicy::kIjtp : it->second;
   }
 
  private:
-  std::unordered_map<core::FlowId, TransportKind> kinds_;
+  std::unordered_map<core::FlowId, HopPolicy> policies_;
 };
 
 struct NodeConfig {

@@ -79,6 +79,60 @@ TEST(ParseArgs, PositionalArgumentIsError) {
   EXPECT_FALSE(parse({"quick"}).ok());
 }
 
+TEST(ParseArgs, ProtoFlagParsesKnownNames) {
+  const auto r = parse({"--proto", "atp"});
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r.options.proto.has_value());
+  EXPECT_EQ(*r.options.proto, exp::Proto::kAtp);
+  EXPECT_FALSE(parse({}).options.proto.has_value());  // default: unset
+}
+
+TEST(ParseArgs, ProtoFlagRejectsUnknownNames) {
+  const auto r = parse({"--proto", "quic"});
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("quic"), std::string::npos);
+  EXPECT_FALSE(parse({"--proto"}).ok());  // missing value
+}
+
+TEST(ParseArgs, ScenarioFlagValidatesTokens) {
+  const auto ok = parse({"--scenario", "net_size=8,loss_good=0.1"});
+  ASSERT_TRUE(ok.ok()) << ok.error;
+  EXPECT_EQ(ok.options.scenario, "net_size=8,loss_good=0.1");
+
+  EXPECT_FALSE(parse({"--scenario", "bogus_key=1"}).ok());
+  EXPECT_FALSE(parse({"--scenario", "net_size=zero"}).ok());
+  EXPECT_FALSE(parse({"--scenario"}).ok());  // missing value
+}
+
+TEST(ParseArgs, ScenarioFlagRejectsProtoAndSeedKeys) {
+  // proto= would bypass per-bench protocol guards; seed= would be
+  // silently overwritten by the per-run seed derivation.
+  const auto p = parse({"--scenario", "proto=tcp"});
+  EXPECT_FALSE(p.ok());
+  EXPECT_NE(p.error.find("--proto"), std::string::npos);
+  const auto s = parse({"--scenario", "net_size=5,seed=9"});
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.error.find("--seed"), std::string::npos);
+}
+
+TEST(SweepOr, CollapsesOnlyWhenOverridden) {
+  const std::vector<std::size_t> sweep{2, 4, 8};
+  EXPECT_EQ(sweep_or<std::size_t>(5, 5, sweep), sweep);  // untouched
+  EXPECT_EQ(sweep_or<std::size_t>(12, 5, sweep),
+            std::vector<std::size_t>{12});  // override wins
+}
+
+TEST(Options, ProtoHelpers) {
+  Options o;
+  const std::vector<exp::Proto> defaults{exp::Proto::kJtp, exp::Proto::kTcp};
+  EXPECT_EQ(o.protos_or(defaults), defaults);
+  EXPECT_EQ(o.proto_or(exp::Proto::kJtp), exp::Proto::kJtp);
+  o.proto = exp::Proto::kAtp;
+  EXPECT_EQ(o.protos_or(defaults),
+            std::vector<exp::Proto>{exp::Proto::kAtp});
+  EXPECT_EQ(o.proto_or(exp::Proto::kJtp), exp::Proto::kAtp);
+}
+
 TEST(Options, PickRunsPrecedence) {
   Options o;
   EXPECT_EQ(o.pick_runs(3, 20), 3u);

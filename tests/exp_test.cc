@@ -14,31 +14,34 @@
 namespace jtp::exp {
 namespace {
 
-ScenarioConfig quiet() {
-  ScenarioConfig sc;
+ScenarioSpec quiet(std::size_t net_size = 3) {
+  ScenarioSpec sc;
+  sc.net_size = net_size;
   sc.fading = false;
   sc.loss_good = 0.0;
   return sc;
 }
 
 TEST(Scenario, LinearBuildsChain) {
-  auto net = make_linear(6, quiet());
-  EXPECT_EQ(net->size(), 6u);
-  EXPECT_TRUE(net->topology().connected());
-  EXPECT_EQ(net->routing().hops(0, 5), 5);
+  auto s = build(quiet(6));
+  EXPECT_EQ(s.network->size(), 6u);
+  EXPECT_TRUE(s.network->topology().connected());
+  EXPECT_EQ(s.network->routing().hops(0, 5), 5);
+  EXPECT_TRUE(s.flows->flows().empty());  // manual workload: none yet
 }
 
 TEST(Scenario, RandomIsConnectedAndSeedStable) {
-  auto sc = quiet();
+  auto sc = quiet(12);
+  sc.topology = TopologyKind::kRandom;
   sc.seed = 77;
-  auto a = make_random(12, sc);
-  auto b = make_random(12, sc);
-  EXPECT_TRUE(a->topology().connected());
+  auto a = build(sc);
+  auto b = build(sc);
+  EXPECT_TRUE(a.network->topology().connected());
   for (core::NodeId i = 0; i < 12; ++i) {
-    EXPECT_DOUBLE_EQ(a->topology().position(i).x,
-                     b->topology().position(i).x);
-    EXPECT_DOUBLE_EQ(a->topology().position(i).y,
-                     b->topology().position(i).y);
+    EXPECT_DOUBLE_EQ(a.network->topology().position(i).x,
+                     b.network->topology().position(i).x);
+    EXPECT_DOUBLE_EQ(a.network->topology().position(i).y,
+                     b.network->topology().position(i).y);
   }
 }
 
@@ -46,10 +49,57 @@ TEST(Scenario, FieldSideGrowsWithNodes) {
   EXPECT_GT(random_field_side_m(25), random_field_side_m(10));
 }
 
-TEST(Scenario, TestbedIs14NodesStableLinks) {
-  auto net = make_testbed(quiet());
-  EXPECT_EQ(net->size(), 14u);
-  EXPECT_FALSE(net->channel().config().fading_enabled);
+TEST(Scenario, TestbedPresetIs14NodesStableLinksPoisson) {
+  auto sc = preset("testbed");
+  auto s = build(sc);
+  EXPECT_EQ(s.network->size(), 14u);
+  EXPECT_TRUE(s.network->topology().connected());
+  EXPECT_FALSE(s.network->channel().config().fading_enabled);
+  EXPECT_FALSE(s.flows->flows().empty());  // Poisson arrivals attached
+  for (const auto& f : s.flows->flows())
+    EXPECT_EQ(f->total_packets, 125u);
+}
+
+TEST(Scenario, LinearPresetAttachesTwoOpposingFlows) {
+  auto s = build(preset("linear"));
+  ASSERT_EQ(s.flows->flows().size(), 2u);
+  const auto& f1 = *s.flows->flows()[0];
+  const auto& f2 = *s.flows->flows()[1];
+  EXPECT_EQ(f1.src, 0u);
+  EXPECT_EQ(f1.dst, 4u);
+  EXPECT_EQ(f2.src, 4u);
+  EXPECT_EQ(f2.dst, 0u);
+  EXPECT_DOUBLE_EQ(f1.start_time, 10.0);
+  EXPECT_DOUBLE_EQ(f2.start_time, 20.0);
+}
+
+TEST(Scenario, RandomPairsWorkloadDrawsDistinctEndpoints) {
+  auto sc = preset("random");
+  sc.fading = false;
+  sc.loss_good = 0.0;
+  auto s = build(sc);
+  ASSERT_EQ(s.flows->flows().size(), 5u);
+  for (const auto& f : s.flows->flows()) EXPECT_NE(f->src, f->dst);
+}
+
+TEST(Scenario, GridTopologyIsConnected) {
+  auto sc = quiet(12);
+  sc.topology = TopologyKind::kGrid;
+  sc.grid_cols = 4;
+  auto s = build(sc);
+  EXPECT_EQ(s.network->size(), 12u);
+  EXPECT_TRUE(s.network->topology().connected());
+}
+
+TEST(Scenario, MobileChainGetsMobility) {
+  // A combination the old four builders could not express.
+  auto sc = quiet(5);
+  sc.speed_mps = 2.0;
+  const auto cfg = make_network_config(sc);
+  EXPECT_FALSE(cfg.mobility.has_value());  // mobility is added by build()
+  auto s = build(sc);
+  s.network->run_until(50.0);  // moves nodes; just has to run
+  EXPECT_EQ(s.network->size(), 5u);
 }
 
 TEST(Scenario, JncDisablesCaching) {
@@ -61,9 +111,103 @@ TEST(Scenario, JncDisablesCaching) {
   EXPECT_TRUE(make_network_config(sc).node.ijtp.caching_enabled);
 }
 
+TEST(Scenario, BuildRejectsTinyNetwork) {
+  auto sc = quiet();
+  sc.net_size = 1;
+  EXPECT_THROW(build(sc), std::invalid_argument);
+}
+
+TEST(Scenario, UnknownPresetThrows) {
+  EXPECT_THROW(preset("starlink"), std::invalid_argument);
+}
+
+TEST(ScenarioSpecParse, PresetThenOverrides) {
+  const auto r = parse_scenario("mobile,net_size=25,speed=5,proto=tcp");
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.spec.topology, TopologyKind::kRandom);
+  EXPECT_EQ(r.spec.net_size, 25u);
+  EXPECT_DOUBLE_EQ(r.spec.speed_mps, 5.0);
+  EXPECT_EQ(r.spec.proto, Proto::kTcp);
+  EXPECT_EQ(r.spec.workload.kind, WorkloadKind::kRandomPairs);
+}
+
+TEST(ScenarioSpecParse, EmptyStringIsDefaults) {
+  const auto r = parse_scenario("");
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.spec, ScenarioSpec{});
+}
+
+TEST(ScenarioSpecParse, EveryKeyRoundTrips) {
+  ScenarioSpec s;
+  s.topology = TopologyKind::kGrid;
+  s.net_size = 21;
+  s.grid_cols = 3;
+  s.speed_mps = 2.5;
+  s.fading = false;
+  s.loss_good = 0.11;
+  s.loss_bad = 0.77;
+  s.bad_fraction = 0.31;
+  s.proto = Proto::kAtp;
+  s.cache_size_packets = 17;
+  s.queue_capacity_packets = 9;
+  s.slot_duration_s = 0.05;
+  s.routing_refresh_s = 2.5;
+  s.seed = 1234;
+  s.workload.kind = WorkloadKind::kPoisson;
+  s.workload.n_flows = 7;
+  s.workload.transfer_packets = 33;
+  s.workload.start_delay_s = 1.25;
+  s.workload.stagger_s = 0.5;
+  s.workload.mean_interarrival_s = 123.5;
+  s.workload.arrival_window_s = 456.25;
+  s.workload.loss_tolerance = 0.125;
+  const auto r = parse_scenario(to_string(s));
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.spec, s);
+}
+
+TEST(ScenarioSpecParse, PresetsRoundTrip) {
+  for (const auto& name : preset_names()) {
+    const auto r = parse_scenario(to_string(preset(name)));
+    ASSERT_TRUE(r.ok()) << name << ": " << r.error;
+    EXPECT_EQ(r.spec, preset(name)) << name;
+  }
+}
+
+TEST(ScenarioSpecParse, RejectsMalformedInput) {
+  EXPECT_FALSE(parse_scenario("definitely_not_a_key=3").ok());
+  EXPECT_FALSE(parse_scenario("net_size=abc").ok());
+  EXPECT_FALSE(parse_scenario("net_size=-4").ok());
+  EXPECT_FALSE(parse_scenario("net_size=1").ok());       // below minimum
+  EXPECT_FALSE(parse_scenario("loss_good=1.5").ok());    // out of [0,1]
+  EXPECT_FALSE(parse_scenario("proto=quic").ok());
+  EXPECT_FALSE(parse_scenario("topology=torus").ok());
+  EXPECT_FALSE(parse_scenario("workload=ddos").ok());
+  EXPECT_FALSE(parse_scenario("fading=maybe").ok());
+  EXPECT_FALSE(parse_scenario("speed=").ok());           // empty value
+  EXPECT_FALSE(parse_scenario("=3").ok());               // empty key
+  EXPECT_FALSE(parse_scenario("net_size=4,,seed=1").ok());  // empty token
+  EXPECT_FALSE(parse_scenario("no_such_preset").ok());
+  EXPECT_FALSE(parse_scenario("net_size=4,linear").ok());  // preset not 1st
+  EXPECT_FALSE(parse_scenario("seed=1e4").ok());         // ints are digits
+  // strtoull saturation must not slip through as ULLONG_MAX.
+  EXPECT_FALSE(parse_scenario("net_size=99999999999999999999999").ok());
+  EXPECT_FALSE(parse_scenario("seed=18446744073709551616").ok());  // 2^64
+}
+
+TEST(ScenarioSpecParse, ApplyTokensOverlaysOntoBase) {
+  auto spec = preset("testbed");
+  const auto err = apply_scenario_tokens(spec, "net_size=10,interarrival=50");
+  EXPECT_TRUE(err.empty()) << err;
+  EXPECT_EQ(spec.net_size, 10u);
+  EXPECT_DOUBLE_EQ(spec.workload.mean_interarrival_s, 50.0);
+  EXPECT_EQ(spec.topology, TopologyKind::kGrid);  // base preserved
+}
+
 TEST(FlowManager, RejectsJncOnCachingNetwork) {
-  auto net = make_linear(3, quiet());  // caching enabled
-  EXPECT_THROW(FlowManager(*net, Proto::kJnc), std::invalid_argument);
+  auto sc = quiet();  // caching enabled (proto default kJtp)
+  auto s = build(sc);
+  EXPECT_THROW(FlowManager(*s.network, Proto::kJnc), std::invalid_argument);
 }
 
 TEST(FlowManager, ProtoNames) {
@@ -71,37 +215,37 @@ TEST(FlowManager, ProtoNames) {
   EXPECT_EQ(proto_name(Proto::kJnc), "jnc");
   EXPECT_EQ(proto_name(Proto::kTcp), "tcp");
   EXPECT_EQ(proto_name(Proto::kAtp), "atp");
+  EXPECT_EQ(parse_proto("jtp"), Proto::kJtp);
+  EXPECT_EQ(parse_proto("atp"), Proto::kAtp);
+  EXPECT_FALSE(parse_proto("sctp").has_value());
 }
 
 TEST(FlowManager, CompletionTimeRecorded) {
-  auto net = make_linear(3, quiet());
-  FlowManager fm(*net, Proto::kJtp);
-  auto& flow = fm.create(0, 2, 20);
-  net->run_until(500.0);
+  auto s = build(quiet());
+  auto& flow = s.flows->create(0, 2, 20);
+  s.network->run_until(500.0);
   ASSERT_TRUE(flow.finished());
   EXPECT_GT(flow.completed_at, 0.0);
   EXPECT_LT(flow.completed_at, 500.0);
 }
 
 TEST(FlowManager, GoodputUsesCompletionTime) {
-  auto net = make_linear(3, quiet());
-  FlowManager fm(*net, Proto::kJtp);
-  auto& flow = fm.create(0, 2, 20);
-  net->run_until(10000.0);  // long horizon must not dilute goodput
+  auto s = build(quiet());
+  auto& flow = s.flows->create(0, 2, 20);
+  s.network->run_until(10000.0);  // long horizon must not dilute goodput
   ASSERT_TRUE(flow.finished());
-  const auto m = fm.collect(10000.0);
+  const auto m = s.flows->collect(10000.0);
   const double expect_kbps =
       flow.delivered_bits() / flow.completed_at / 1e3;
   EXPECT_NEAR(m.per_flow_goodput_kbps_mean, expect_kbps, 1e-9);
 }
 
 TEST(FlowManager, DelayedStartHonored) {
-  auto net = make_linear(3, quiet());
-  FlowManager fm(*net, Proto::kJtp);
-  auto& flow = fm.create(0, 2, 0, /*start_delay_s=*/100.0);
-  net->run_until(50.0);
+  auto s = build(quiet());
+  auto& flow = s.flows->create(0, 2, 0, /*start_delay_s=*/100.0);
+  s.network->run_until(50.0);
   EXPECT_EQ(flow.data_sent(), 0u);
-  net->run_until(200.0);
+  s.network->run_until(200.0);
   EXPECT_GT(flow.data_sent(), 0u);
 }
 
@@ -167,15 +311,14 @@ TEST(Runner, ResolveJobs) {
 // lossy scenario.
 TEST(Runner, ParallelMatchesSerialOnRealScenario) {
   auto body = [](std::uint64_t s) {
-    ScenarioConfig sc;
+    ScenarioSpec sc;
     sc.seed = s;
-    sc.proto = Proto::kJtp;
+    sc.net_size = 4;
     sc.loss_good = 0.05;
-    auto net = make_linear(4, sc);
-    FlowManager fm(*net, Proto::kJtp);
-    fm.create(0, 3, 0);
-    net->run_until(300.0);
-    return fm.collect(300.0);
+    auto scenario = build(sc);
+    scenario.flows->create(0, 3, 0);
+    scenario.network->run_until(300.0);
+    return scenario.flows->collect(300.0);
   };
   const auto serial = run_seeds(6, 9, body, /*jobs=*/1);
   const auto parallel = run_seeds(6, 9, body, /*jobs=*/4);
@@ -275,16 +418,15 @@ class DeterminismTest : public ::testing::TestWithParam<Proto> {};
 TEST_P(DeterminismTest, SameSeedSameMetrics) {
   const Proto proto = GetParam();
   auto run = [&] {
-    auto sc = quiet();
+    auto sc = quiet(4);
     sc.seed = 123;
     sc.proto = proto;
     sc.fading = true;
     sc.loss_good = 0.05;
-    auto net = make_linear(4, sc);
-    FlowManager fm(*net, proto);
-    fm.create(0, 3, 0);
-    net->run_until(400.0);
-    return fm.collect(400.0);
+    auto s = build(sc);
+    s.flows->create(0, 3, 0);
+    s.network->run_until(400.0);
+    return s.flows->collect(400.0);
   };
   const auto a = run();
   const auto b = run();

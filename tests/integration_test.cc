@@ -1,4 +1,5 @@
-// End-to-end integration tests: full stacks over simulated networks.
+// End-to-end integration tests: full stacks over simulated networks,
+// built through the declarative ScenarioSpec API.
 #include <gtest/gtest.h>
 
 #include "exp/scenario.h"
@@ -11,22 +12,25 @@ namespace {
 using exp::FlowManager;
 using exp::FlowOptions;
 using exp::Proto;
-using exp::ScenarioConfig;
+using exp::Scenario;
+using exp::ScenarioSpec;
+using exp::TopologyKind;
 
-ScenarioConfig quiet(std::uint64_t seed = 1, Proto proto = Proto::kJtp) {
-  ScenarioConfig sc;
+ScenarioSpec quiet(std::uint64_t seed = 1, Proto proto = Proto::kJtp,
+                   std::size_t net_size = 4) {
+  ScenarioSpec sc;
   sc.seed = seed;
   sc.proto = proto;
+  sc.net_size = net_size;
   sc.fading = false;   // deterministic-ish substrate for unit-style checks
   sc.loss_good = 0.0;  // lossless unless a test opts in
   return sc;
 }
 
 TEST(Integration, JtpDeliversBulkOverLosslessChain) {
-  auto net = exp::make_linear(4, quiet());
-  FlowManager fm(*net, Proto::kJtp);
-  auto& flow = fm.create(0, 3, /*total_packets=*/50);
-  net->run_until(600.0);
+  auto s = exp::build(quiet());
+  auto& flow = s.flows->create(0, 3, /*total_packets=*/50);
+  s.network->run_until(600.0);
   EXPECT_TRUE(flow.finished());
   EXPECT_EQ(flow.delivered_packets(), 50u);
   EXPECT_EQ(flow.source_rtx(), 0u);  // lossless: nothing to recover
@@ -35,10 +39,9 @@ TEST(Integration, JtpDeliversBulkOverLosslessChain) {
 TEST(Integration, JtpSurvivesLossyChain) {
   auto sc = quiet(3);
   sc.loss_good = 0.15;
-  auto net = exp::make_linear(4, sc);
-  FlowManager fm(*net, Proto::kJtp);
-  auto& flow = fm.create(0, 3, 100);
-  net->run_until(2000.0);
+  auto s = exp::build(sc);
+  auto& flow = s.flows->create(0, 3, 100);
+  s.network->run_until(2000.0);
   EXPECT_TRUE(flow.finished()) << "delivered=" << flow.delivered_packets();
   EXPECT_EQ(flow.delivered_packets(), 100u);  // 0% tolerance: all arrive
 }
@@ -46,14 +49,13 @@ TEST(Integration, JtpSurvivesLossyChain) {
 TEST(Integration, CachesRecoverLossesBeforeTheSource) {
   // Loss high enough that the 5-attempt MAC budget is sometimes exhausted
   // (p^5 ≈ 1.8% at p=0.45), so SNACK-driven recovery actually engages.
-  auto sc = quiet(5);
+  auto sc = quiet(5, Proto::kJtp, 6);
   sc.loss_good = 0.45;
-  auto net = exp::make_linear(6, sc);
-  FlowManager fm(*net, Proto::kJtp);
-  auto& flow = fm.create(0, 5, 200);
-  net->run_until(6000.0);
+  auto s = exp::build(sc);
+  auto& flow = s.flows->create(0, 5, 200);
+  s.network->run_until(6000.0);
   EXPECT_TRUE(flow.finished());
-  const auto m = fm.collect(6000.0);
+  const auto m = s.flows->collect(6000.0);
   // With per-hop attempts plus caches, in-network recovery should do the
   // bulk of the repair work; the source sees only what caches missed.
   EXPECT_GT(m.cache_retransmissions + m.source_retransmissions, 0u);
@@ -63,113 +65,100 @@ TEST(Integration, CachesRecoverLossesBeforeTheSource) {
 }
 
 TEST(Integration, JncFallsBackToSourceRetransmissions) {
-  auto sc = quiet(5, Proto::kJnc);
+  auto sc = quiet(5, Proto::kJnc, 6);
   sc.loss_good = 0.3;  // loss beyond the attempt budget's reach
-  auto net = exp::make_linear(6, sc);
-  FlowManager fm(*net, Proto::kJnc);
-  auto& flow = fm.create(0, 5, 100);
-  net->run_until(4000.0);
-  const auto m = fm.collect(4000.0);
+  auto s = exp::build(sc);
+  auto& flow = s.flows->create(0, 5, 100);
+  s.network->run_until(4000.0);
+  const auto m = s.flows->collect(4000.0);
   EXPECT_EQ(m.cache_retransmissions, 0u);
   EXPECT_GT(flow.delivered_packets(), 0u);
 }
 
 TEST(Integration, LossToleranceReducesEffortButMeetsTarget) {
-  auto sc = quiet(7);
+  auto sc = quiet(7, Proto::kJtp, 5);
   sc.loss_good = 0.2;
-  auto net_full = exp::make_linear(5, sc);
-  auto net_tol = exp::make_linear(5, sc);
-  FlowManager fm_full(*net_full, Proto::kJtp);
-  FlowManager fm_tol(*net_tol, Proto::kJtp);
+  auto s_full = exp::build(sc);
+  auto s_tol = exp::build(sc);
   FlowOptions tol;
   tol.loss_tolerance = 0.2;
-  auto& f_full = fm_full.create(0, 4, 300);
-  auto& f_tol = fm_tol.create(0, 4, 300, 0.0, tol);
-  net_full->run_until(4000.0);
-  net_tol->run_until(4000.0);
+  auto& f_full = s_full.flows->create(0, 4, 300);
+  auto& f_tol = s_tol.flows->create(0, 4, 300, 0.0, tol);
+  s_full.network->run_until(4000.0);
+  s_tol.network->run_until(4000.0);
   EXPECT_TRUE(f_full.finished());
   EXPECT_TRUE(f_tol.finished());
   // Tolerant flow must still deliver >= 80% of the data...
   EXPECT_GE(f_tol.delivered_packets(), 240u);
   // ...while spending less energy than the full-reliability flow.
-  EXPECT_LT(net_tol->energy().total_energy(),
-            net_full->energy().total_energy());
+  EXPECT_LT(s_tol.network->energy().total_energy(),
+            s_full.network->energy().total_energy());
 }
 
 TEST(Integration, TcpDeliversOverChain) {
-  auto net = exp::make_linear(4, quiet(9, Proto::kTcp));
-  FlowManager fm(*net, Proto::kTcp);
-  auto& flow = fm.create(0, 3, 50);
-  net->run_until(600.0);
+  auto s = exp::build(quiet(9, Proto::kTcp));
+  auto& flow = s.flows->create(0, 3, 50);
+  s.network->run_until(600.0);
   EXPECT_TRUE(flow.finished());
   EXPECT_EQ(flow.delivered_packets(), 50u);
 }
 
 TEST(Integration, AtpDeliversOverChain) {
-  auto net = exp::make_linear(4, quiet(11, Proto::kAtp));
-  FlowManager fm(*net, Proto::kAtp);
-  auto& flow = fm.create(0, 3, 50);
-  net->run_until(600.0);
+  auto s = exp::build(quiet(11, Proto::kAtp));
+  auto& flow = s.flows->create(0, 3, 50);
+  s.network->run_until(600.0);
   EXPECT_TRUE(flow.finished());
   EXPECT_EQ(flow.delivered_packets(), 50u);
 }
 
 TEST(Integration, JtpBeatsTcpOnEnergyPerBitOverLossyChain) {
-  auto sc_jtp = quiet(13);
+  auto sc_jtp = quiet(13, Proto::kJtp, 6);
   sc_jtp.loss_good = 0.1;
   sc_jtp.fading = true;
   auto sc_tcp = sc_jtp;
   sc_tcp.proto = Proto::kTcp;
-  auto net_jtp = exp::make_linear(6, sc_jtp);
-  auto net_tcp = exp::make_linear(6, sc_tcp);
-  FlowManager fm_jtp(*net_jtp, Proto::kJtp);
-  FlowManager fm_tcp(*net_tcp, Proto::kTcp);
-  fm_jtp.create(0, 5, 0);  // long-lived
-  fm_tcp.create(0, 5, 0);
-  net_jtp->run_until(2000.0);
-  net_tcp->run_until(2000.0);
-  const auto mj = fm_jtp.collect(2000.0);
-  const auto mt = fm_tcp.collect(2000.0);
+  auto s_jtp = exp::build(sc_jtp);
+  auto s_tcp = exp::build(sc_tcp);
+  s_jtp.flows->create(0, 5, 0);  // long-lived
+  s_tcp.flows->create(0, 5, 0);
+  s_jtp.network->run_until(2000.0);
+  s_tcp.network->run_until(2000.0);
+  const auto mj = s_jtp.flows->collect(2000.0);
+  const auto mt = s_tcp.flows->collect(2000.0);
   ASSERT_GT(mj.delivered_payload_bits, 0.0);
   ASSERT_GT(mt.delivered_payload_bits, 0.0);
   EXPECT_LT(mj.energy_per_bit_uj(), mt.energy_per_bit_uj());
 }
 
 TEST(Integration, QueueDropsCountedUnderOverload) {
-  auto sc = quiet(15);
-  auto net = exp::make_linear(3, sc);
-  FlowManager fm(*net, Proto::kJtp);
+  auto s = exp::build(quiet(15, Proto::kJtp, 3));
   FlowOptions opt;
   opt.initial_rate_pps = 50.0;  // way beyond TDMA capacity
-  fm.create(0, 2, 0, 0.0, opt);
-  net->run_until(300.0);
-  const auto m = fm.collect(300.0);
+  s.flows->create(0, 2, 0, 0.0, opt);
+  s.network->run_until(300.0);
+  const auto m = s.flows->collect(300.0);
   EXPECT_GT(m.queue_drops, 0u);
 }
 
 TEST(Integration, EnergyBudgetDropsLoopingPackets) {
   // A tiny explicit budget means packets die after a couple of hops.
-  auto sc = quiet(17);
-  auto net = exp::make_linear(6, sc);
-  FlowManager fm(*net, Proto::kJtp);
+  auto s = exp::build(quiet(17, Proto::kJtp, 6));
   FlowOptions opt;
   const double one_hop_energy =
-      net->energy().tx_energy(8.0 * (800 + 28));
+      s.network->energy().tx_energy(8.0 * (800 + 28));
   opt.initial_energy_budget = 1.5 * one_hop_energy;  // < 5 hops' worth
-  auto& flow = fm.create(0, 5, 20, 0.0, opt);
-  net->run_until(300.0);
-  const auto m = fm.collect(300.0);
+  auto& flow = s.flows->create(0, 5, 20, 0.0, opt);
+  s.network->run_until(300.0);
+  const auto m = s.flows->collect(300.0);
   EXPECT_GT(m.energy_budget_drops, 0u);
   EXPECT_EQ(flow.delivered_packets(), 0u);  // budget too small to cross
 }
 
-TEST(Integration, TwoCompetingJtpFlowsShareCapacity) {
-  auto sc = quiet(19);
-  auto net = exp::make_linear(5, sc);
-  FlowManager fm(*net, Proto::kJtp);
-  auto& f1 = fm.create(0, 4, 0);
-  auto& f2 = fm.create(4, 0, 0);
-  net->run_until(2500.0);
+TEST(Integration, TwoCompetingFlowsShareCapacity) {
+  auto s = exp::build(quiet(19, Proto::kJtp, 5));
+  auto& f1 = s.flows->create(0, 4, 0);
+  auto& f2 = s.flows->create(4, 0, 0);
+  s.network->run_until(2500.0);
   const double b1 = f1.delivered_bits();
   const double b2 = f2.delivered_bits();
   ASSERT_GT(b1, 0.0);
@@ -179,53 +168,54 @@ TEST(Integration, TwoCompetingJtpFlowsShareCapacity) {
 }
 
 TEST(Integration, MobileNetworkStillDelivers) {
-  ScenarioConfig sc = quiet(21);
-  sc.fading = false;
+  auto sc = quiet(21, Proto::kJtp, 10);
+  sc.topology = TopologyKind::kRandom;
+  sc.speed_mps = 1.0;
   sc.loss_good = 0.02;
-  auto net = exp::make_mobile(10, 1.0, sc);
-  FlowManager fm(*net, Proto::kJtp);
-  fm.create(0, 9, 0);
-  net->run_until(1500.0);
-  const auto m = fm.collect(1500.0);
+  auto s = exp::build(sc);
+  s.flows->create(0, 9, 0);
+  s.network->run_until(1500.0);
+  const auto m = s.flows->collect(1500.0);
   EXPECT_GT(m.delivered_payload_bits, 0.0);
 }
 
 TEST(Integration, RandomTopologyMultiFlow) {
-  ScenarioConfig sc = quiet(23);
+  auto sc = quiet(23, Proto::kJtp, 15);
+  sc.topology = TopologyKind::kRandom;
   sc.loss_good = 0.05;
-  auto net = exp::make_random(15, sc);
-  FlowManager fm(*net, Proto::kJtp);
-  auto& rng = net->rng();
+  auto s = exp::build(sc);
+  auto& rng = s.network->rng();
   for (int i = 0; i < 5; ++i) {
     core::NodeId a = rng.integer(15);
     core::NodeId b = rng.integer(15);
     if (a == b) b = (b + 1) % 15;
-    fm.create(a, b, 0);
+    s.flows->create(a, b, 0);
   }
-  net->run_until(1000.0);
-  const auto m = fm.collect(1000.0);
+  s.network->run_until(1000.0);
+  const auto m = s.flows->collect(1000.0);
   EXPECT_GT(m.delivered_payload_bits, 0.0);
   EXPECT_GT(m.per_flow_goodput_kbps_mean, 0.0);
 }
 
 TEST(Integration, TestbedScenarioRuns) {
-  ScenarioConfig sc = quiet(25);
-  auto net = exp::make_testbed(sc);
-  EXPECT_EQ(net->size(), 14u);
-  EXPECT_TRUE(net->topology().connected());
-  FlowManager fm(*net, Proto::kJtp);
-  auto& flow = fm.create(0, 13, 30);
-  net->run_until(600.0);
+  auto sc = exp::preset("testbed");
+  sc.seed = 25;
+  sc.loss_good = 0.0;
+  sc.workload.kind = exp::WorkloadKind::kManual;  // one bespoke flow
+  auto s = exp::build(sc);
+  EXPECT_EQ(s.network->size(), 14u);
+  EXPECT_TRUE(s.network->topology().connected());
+  auto& flow = s.flows->create(0, 13, 30);
+  s.network->run_until(600.0);
   EXPECT_TRUE(flow.finished());
 }
 
 TEST(Integration, SameSeedSameResult) {
   auto run_once = [] {
-    auto net = exp::make_linear(4, quiet(31));
-    FlowManager fm(*net, Proto::kJtp);
-    fm.create(0, 3, 0);
-    net->run_until(500.0);
-    return fm.collect(500.0);
+    auto s = exp::build(quiet(31));
+    s.flows->create(0, 3, 0);
+    s.network->run_until(500.0);
+    return s.flows->collect(500.0);
   };
   const auto a = run_once();
   const auto b = run_once();
