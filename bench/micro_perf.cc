@@ -13,11 +13,14 @@
 #include "baselines/tcp_sack.h"
 #include "core/cache.h"
 #include "core/env.h"
+#include "core/ijtp.h"
 #include "core/path_monitor.h"
 #include "core/rate_controller.h"
 #include "core/reliability.h"
 #include "core/transport.h"
+#include "exp/scenario.h"
 #include "mac/tdma_schedule.h"
+#include "net/network.h"
 #include "sim/event_queue.h"
 #include "sim/random.h"
 #include "sim/simulator.h"
@@ -50,6 +53,90 @@ void BM_SimulatorScheduleRun(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 256);
 }
 BENCHMARK(BM_SimulatorScheduleRun);
+
+// Schedule/cancel/pop mix at 1e6 events: the event structure under a
+// deep heap with interleaved cancellations, as the TDMA slot timers and
+// transport feedback timers produce it at scale.
+void BM_EventQueueMix(benchmark::State& state) {
+  constexpr int kN = 1 << 20;  // ~1e6
+  std::vector<sim::EventId> ids(kN);
+  for (auto _ : state) {
+    sim::EventQueue q;
+    for (int i = 0; i < kN; ++i) {
+      ids[i] = q.push(static_cast<double>((i * 2654435761u) % 4096), [] {});
+      // Cancel every fourth event shortly after scheduling it (timer
+      // re-arm pattern: schedule, then supersede).
+      if ((i & 3) == 3) q.cancel(ids[i - 2]);
+    }
+    while (!q.empty()) benchmark::DoNotOptimize(q.pop().at);
+  }
+  state.SetItemsProcessed(state.iterations() * kN);
+}
+BENCHMARK(BM_EventQueueMix)->Unit(benchmark::kMillisecond);
+
+// End-to-end delivery pipeline: a 4-hop chain with fading disabled, one
+// bulk JTP flow. Items = packets delivered end-to-end, so the counter
+// reads as delivery-pipeline packets/sec (every item traverses endpoint
+// pacing, MAC queues, iJTP pre-xmit/post-rcv at each hop, and the ACK
+// path with SNACKs back).
+void BM_DeliveryPipelineData(benchmark::State& state) {
+  std::uint64_t delivered = 0;
+  for (auto _ : state) {
+    exp::ScenarioSpec spec;  // linear defaults
+    spec.net_size = 5;
+    spec.fading = false;
+    spec.seed = 1;
+    net::Network net(exp::make_topology(spec), exp::make_network_config(spec));
+    net::FlowOptions opt;
+    opt.initial_rate_pps = 40.0;
+    auto flow = net.add_flow(core::Proto::kJtp, 0, 4, opt);
+    flow.receiver->start();
+    flow.sender->start(0);  // long-lived bulk flow
+    net.run_until(120.0);
+    flow.stop();
+    delivered += flow.delivered_packets();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(delivered));
+  state.counters["pkts"] = static_cast<double>(delivered);
+}
+BENCHMARK(BM_DeliveryPipelineData)->Unit(benchmark::kMillisecond);
+
+// SNACK-heavy ACK traffic through the in-network half: every iteration an
+// ACK whose SNACK names 32 missing packets traverses iJTP post-receive at
+// a cache-warm intermediate node — cache lookups, local retransmissions,
+// and the missing -> locally_recovered SNACK rewrite.
+void BM_SnackAckPostRcv(benchmark::State& state) {
+  core::IjtpConfig icfg;
+  icfg.cache_capacity_packets = 1000;
+  icfg.max_cache_rtx_per_ack = 8;
+  core::IjtpModule ijtp(icfg);
+  core::Packet data;
+  data.type = core::PacketType::kData;
+  data.flow = 1;
+  for (core::SeqNo s = 0; s < 1000; ++s) {
+    data.seq = s;
+    ijtp.post_rcv(data);  // warm the cache
+  }
+  core::SeqNo base = 0;
+  for (auto _ : state) {
+    core::Packet ack;
+    ack.type = core::PacketType::kAck;
+    ack.flow = 1;
+    core::AckHeader h;
+    for (int i = 0; i < 32; ++i)
+      h.snack.missing.push_back((base + 31 * i) % 1000);
+    base = (base + 1) % 1000;
+    ack.ack = std::move(h);
+    std::size_t served = ijtp.post_rcv(
+        ack, [](core::Packet&& rtx) {
+          benchmark::DoNotOptimize(rtx.seq);
+          return true;
+        });
+    benchmark::DoNotOptimize(served);
+  }
+  state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_SnackAckPostRcv);
 
 void BM_CacheInsertLookup(benchmark::State& state) {
   core::PacketCache cache(1000);
@@ -127,14 +214,16 @@ class NullEnv final : public core::Env {
     return ++next_id_;  // timers never fire in this kernel
   }
   void cancel(core::TimerId) override {}
+  core::PacketPool& packet_pool() override { return pool_; }
 
  private:
   core::TimerId next_id_ = 0;
+  core::PacketPool pool_;
 };
 
 class NullSink final : public core::PacketSink {
  public:
-  void send(core::Packet) override {}
+  void send(core::PacketPtr) override {}  // dropped: slot recycles
 };
 
 baselines::TcpConfig delivery_cfg() {

@@ -35,21 +35,21 @@ void AtpSender::stop() {
   }
 }
 
-core::Packet AtpSender::make_data(core::SeqNo seq, bool rtx) {
-  core::Packet p;
-  p.type = core::PacketType::kData;
-  p.flow = cfg_.flow;
-  p.src = cfg_.src;
-  p.dst = cfg_.dst;
-  p.seq = seq;
-  p.payload_bytes = cfg_.payload_bytes;
-  p.header_override_bytes = kAtpDataHeaderBytes;
-  p.loss_tolerance = 0.0;
-  p.energy_budget = 0.0;
-  p.available_rate_pps =
+core::PacketPtr AtpSender::make_data(core::SeqNo seq, bool rtx) {
+  core::PacketPtr p = env_.packet_pool().make();
+  p->type = core::PacketType::kData;
+  p->flow = cfg_.flow;
+  p->src = cfg_.src;
+  p->dst = cfg_.dst;
+  p->seq = seq;
+  p->payload_bytes = cfg_.payload_bytes;
+  p->header_override_bytes = kAtpDataHeaderBytes;
+  p->loss_tolerance = 0.0;
+  p->energy_budget = 0.0;
+  p->available_rate_pps =
       std::numeric_limits<double>::infinity();  // stamped along the path
-  p.send_time = env_.now();
-  p.is_source_retransmission = rtx;
+  p->send_time = env_.now();
+  p->is_source_retransmission = rtx;
   return p;
 }
 
@@ -190,15 +190,15 @@ void AtpReceiver::on_data(const core::Packet& p) {
 void AtpReceiver::feedback_tick() {
   if (!running_) return;
   if (saw_data_) {
-    core::Packet ack;
-    ack.type = core::PacketType::kAck;
-    ack.flow = cfg_.flow;
-    ack.src = cfg_.dst;
-    ack.dst = cfg_.src;
-    ack.payload_bytes = 0;
-    ack.header_override_bytes = kAtpAckHeaderBytes;
+    core::PacketPtr ack = env_.packet_pool().make();
+    ack->type = core::PacketType::kAck;
+    ack->flow = cfg_.flow;
+    ack->src = cfg_.dst;
+    ack->dst = cfg_.src;
+    ack->payload_bytes = 0;
+    ack->header_override_bytes = kAtpAckHeaderBytes;
 
-    core::AckHeader h;
+    core::AckHeader& h = ack->ack.emplace();
     h.cumulative_ack = cum_ack_;
     h.advertised_rate_pps = rate_init_ ? rate_ewma_ : 0.0;
     h.echo_send_time = last_echo_time_;
@@ -207,7 +207,6 @@ void AtpReceiver::feedback_tick() {
     for (core::SeqNo s = cum_ack_;
          s < horizon_ && h.snack.missing.size() < cfg_.max_holes_per_ack; ++s)
       if (!out_of_order_.count(s)) h.snack.missing.push_back(s);
-    ack.ack = std::move(h);
 
     ++acks_sent_;
     sink_.send(std::move(ack));

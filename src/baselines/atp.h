@@ -71,7 +71,7 @@ class AtpSender final : public core::TransportSender {
   void pace();
   void arm_pacing();
   void arm_silence_watchdog();
-  core::Packet make_data(core::SeqNo seq, bool rtx);
+  core::PacketPtr make_data(core::SeqNo seq, bool rtx);
 
   core::Env& env_;
   core::PacketSink& sink_;

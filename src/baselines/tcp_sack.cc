@@ -48,19 +48,19 @@ void TcpSackSender::stop() {
   }
 }
 
-core::Packet TcpSackSender::make_data(core::SeqNo seq, bool rtx) {
-  core::Packet p;
-  p.type = core::PacketType::kData;
-  p.flow = cfg_.flow;
-  p.src = cfg_.src;
-  p.dst = cfg_.dst;
-  p.seq = seq;
-  p.payload_bytes = cfg_.payload_bytes;
-  p.header_override_bytes = kTcpDataHeaderBytes;
-  p.loss_tolerance = 0.0;  // TCP: full reliability, always
-  p.energy_budget = 0.0;   // and no notion of an energy budget
-  p.send_time = env_.now();
-  p.is_source_retransmission = rtx;
+core::PacketPtr TcpSackSender::make_data(core::SeqNo seq, bool rtx) {
+  core::PacketPtr p = env_.packet_pool().make();
+  p->type = core::PacketType::kData;
+  p->flow = cfg_.flow;
+  p->src = cfg_.src;
+  p->dst = cfg_.dst;
+  p->seq = seq;
+  p->payload_bytes = cfg_.payload_bytes;
+  p->header_override_bytes = kTcpDataHeaderBytes;
+  p->loss_tolerance = 0.0;  // TCP: full reliability, always
+  p->energy_budget = 0.0;   // and no notion of an energy budget
+  p->send_time = env_.now();
+  p->is_source_retransmission = rtx;
   return p;
 }
 
@@ -219,15 +219,15 @@ void TcpSackReceiver::on_data(const core::Packet& p) {
 }
 
 void TcpSackReceiver::send_ack(double echo_time) {
-  core::Packet ack;
-  ack.type = core::PacketType::kAck;
-  ack.flow = cfg_.flow;
-  ack.src = cfg_.dst;
-  ack.dst = cfg_.src;
-  ack.payload_bytes = 0;
-  ack.header_override_bytes = kTcpAckHeaderBytes;
+  core::PacketPtr ack = env_.packet_pool().make();
+  ack->type = core::PacketType::kAck;
+  ack->flow = cfg_.flow;
+  ack->src = cfg_.dst;
+  ack->dst = cfg_.src;
+  ack->payload_bytes = 0;
+  ack->header_override_bytes = kTcpAckHeaderBytes;
 
-  core::AckHeader h;
+  core::AckHeader& h = ack->ack.emplace();
   h.cumulative_ack = cum_ack_;
   h.echo_send_time = echo_time;
   h.ack_serial = ++ack_serial_;
@@ -235,7 +235,6 @@ void TcpSackReceiver::send_ack(double echo_time) {
   for (core::SeqNo s = cum_ack_; s < horizon_ && h.snack.missing.size() < 16;
        ++s)
     if (!out_of_order_.count(s)) h.snack.missing.push_back(s);
-  ack.ack = std::move(h);
 
   ++acks_sent_;
   sink_.send(std::move(ack));

@@ -79,7 +79,7 @@ class TcpSackSender final : public core::TransportSender {
   void arm_rto();
   void rto_fire();
   void update_rate();
-  core::Packet make_data(core::SeqNo seq, bool rtx);
+  core::PacketPtr make_data(core::SeqNo seq, bool rtx);
 
   core::Env& env_;
   core::PacketSink& sink_;

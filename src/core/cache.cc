@@ -4,66 +4,127 @@
 
 namespace jtp::core {
 
+namespace {
+std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+}  // namespace
+
 PacketCache::PacketCache(std::size_t capacity_packets)
     : capacity_(capacity_packets) {
   if (capacity_packets == 0)
     throw std::invalid_argument("PacketCache: capacity must be >= 1");
+  entries_.resize(capacity_);
+  // Chain all entries into the freelist (via chain_next).
+  for (std::size_t i = 0; i < capacity_; ++i)
+    entries_[i].chain_next =
+        i + 1 < capacity_ ? static_cast<std::uint32_t>(i + 1) : kNil;
+  const std::size_t nbuckets = next_pow2(2 * capacity_);
+  buckets_.assign(nbuckets, kNil);
+  bucket_mask_ = nbuckets - 1;
 }
 
-void PacketCache::touch(Entry& e) {
-  lru_.splice(lru_.begin(), lru_, e.lru_pos);
+std::uint32_t PacketCache::find(FlowId flow, SeqNo seq) const {
+  for (std::uint32_t i = buckets_[bucket_of(flow, seq)]; i != kNil;
+       i = entries_[i].chain_next) {
+    const PacketHeader& p = entries_[i].packet;
+    if (p.flow == flow && p.seq == seq) return i;
+  }
+  return kNil;
+}
+
+void PacketCache::lru_unlink(std::uint32_t idx) {
+  Entry& e = entries_[idx];
+  if (e.lru_prev != kNil)
+    entries_[e.lru_prev].lru_next = e.lru_next;
+  else
+    lru_head_ = e.lru_next;
+  if (e.lru_next != kNil)
+    entries_[e.lru_next].lru_prev = e.lru_prev;
+  else
+    lru_tail_ = e.lru_prev;
+  e.lru_prev = e.lru_next = kNil;
+}
+
+void PacketCache::lru_push_front(std::uint32_t idx) {
+  Entry& e = entries_[idx];
+  e.lru_prev = kNil;
+  e.lru_next = lru_head_;
+  if (lru_head_ != kNil) entries_[lru_head_].lru_prev = idx;
+  lru_head_ = idx;
+  if (lru_tail_ == kNil) lru_tail_ = idx;
+}
+
+void PacketCache::chain_remove(std::uint32_t idx) {
+  const Entry& e = entries_[idx];
+  std::uint32_t* link = &buckets_[bucket_of(e.packet.flow, e.packet.seq)];
+  while (*link != idx) link = &entries_[*link].chain_next;
+  *link = e.chain_next;
+}
+
+void PacketCache::remove_entry(std::uint32_t idx) {
+  chain_remove(idx);
+  lru_unlink(idx);
+  entries_[idx].chain_next = free_head_;
+  free_head_ = idx;
+  --live_;
 }
 
 void PacketCache::evict_one() {
-  const Key victim = lru_.back();
-  lru_.pop_back();
-  map_.erase(victim);
+  remove_entry(lru_tail_);
   ++evictions_;
 }
 
-void PacketCache::insert(const Packet& p) {
+void PacketCache::insert(const PacketHeader& p) {
   if (!p.is_data()) return;  // only data packets are cacheable
-  const Key key{p.flow, p.seq};
   ++insertions_;
-  if (auto it = map_.find(key); it != map_.end()) {
-    it->second.packet = p;
-    it->second.packet.is_source_retransmission = false;
-    it->second.packet.is_cache_retransmission = false;
-    touch(it->second);
+  if (const std::uint32_t idx = find(p.flow, p.seq); idx != kNil) {
+    Entry& e = entries_[idx];
+    e.packet = p;
+    e.packet.is_source_retransmission = false;
+    e.packet.is_cache_retransmission = false;
+    lru_unlink(idx);
+    lru_push_front(idx);
     return;
   }
-  if (map_.size() >= capacity_) evict_one();
-  lru_.push_front(key);
-  Entry e{p, lru_.begin()};
+  if (live_ >= capacity_) evict_one();
+  const std::uint32_t idx = free_head_;
+  Entry& e = entries_[idx];
+  free_head_ = e.chain_next;
+  e.packet = p;
   e.packet.is_source_retransmission = false;
   e.packet.is_cache_retransmission = false;
-  map_.emplace(key, std::move(e));
+  const std::size_t b = bucket_of(p.flow, p.seq);
+  e.chain_next = buckets_[b];
+  buckets_[b] = idx;
+  lru_push_front(idx);
+  ++live_;
 }
 
-std::optional<Packet> PacketCache::lookup(FlowId flow, SeqNo seq) {
-  const Key key{flow, seq};
-  auto it = map_.find(key);
-  if (it == map_.end()) {
+const PacketHeader* PacketCache::lookup(FlowId flow, SeqNo seq) {
+  const std::uint32_t idx = find(flow, seq);
+  if (idx == kNil) {
     ++misses_;
-    return std::nullopt;
+    return nullptr;
   }
   ++hits_;
-  touch(it->second);
-  return it->second.packet;
+  lru_unlink(idx);
+  lru_push_front(idx);
+  return &entries_[idx].packet;
 }
 
 bool PacketCache::contains(FlowId flow, SeqNo seq) const {
-  return map_.count(Key{flow, seq});
+  return find(flow, seq) != kNil;
 }
 
 void PacketCache::erase_flow(FlowId flow) {
-  for (auto it = lru_.begin(); it != lru_.end();) {
-    if (it->flow == flow) {
-      map_.erase(*it);
-      it = lru_.erase(it);
-    } else {
-      ++it;
-    }
+  std::uint32_t i = lru_head_;
+  while (i != kNil) {
+    const std::uint32_t next = entries_[i].lru_next;
+    if (entries_[i].packet.flow == flow) remove_entry(i);
+    i = next;
   }
 }
 

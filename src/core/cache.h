@@ -5,12 +5,18 @@
 // holds the packet, avoiding an end-to-end retransmission. "Recently
 // manipulated" covers both insertion and a retransmission hit, so packets
 // under active repair stay resident. Capacity is shared across flows.
+//
+// Storage: all entries live in a slab allocated once at construction —
+// an intrusive doubly-linked LRU over slab indices plus a chained hash
+// table (buckets sized 2× capacity, rounded to a power of two). Insert,
+// lookup, and eviction perform no heap allocation; cached packets are
+// bare PacketHeaders (only data packets are cacheable, and data packets
+// carry no ack body).
 #pragma once
 
 #include <cstddef>
-#include <list>
-#include <optional>
-#include <unordered_map>
+#include <cstdint>
+#include <vector>
 
 #include "core/packet.h"
 #include "core/types.h"
@@ -23,12 +29,13 @@ class PacketCache {
 
   // Inserts (or refreshes) a copy of `p`. Duplicate (flow, seq) overwrites
   // and counts as a manipulation. Source/cache retransmission markers are
-  // stripped: a cached copy is just a copy.
-  void insert(const Packet& p);
+  // stripped: a cached copy is just a copy. Non-data packets are ignored.
+  void insert(const PacketHeader& p);
 
-  // Looks up (flow, seq); on hit, the entry is refreshed (LRU touch) and a
-  // copy is returned.
-  std::optional<Packet> lookup(FlowId flow, SeqNo seq);
+  // Looks up (flow, seq); on hit, the entry is refreshed (LRU touch) and
+  // a pointer to the cached header is returned (valid until the next
+  // mutating call). Returns nullptr on miss.
+  const PacketHeader* lookup(FlowId flow, SeqNo seq);
 
   // Non-refreshing probe, for tests/inspection.
   bool contains(FlowId flow, SeqNo seq) const;
@@ -36,7 +43,7 @@ class PacketCache {
   // Drops every entry of a flow (e.g. connection teardown).
   void erase_flow(FlowId flow);
 
-  std::size_t size() const { return map_.size(); }
+  std::size_t size() const { return live_; }
   std::size_t capacity() const { return capacity_; }
 
   // Counters for the experiment harness.
@@ -46,28 +53,40 @@ class PacketCache {
   std::uint64_t insertions() const { return insertions_; }
 
  private:
-  struct Key {
-    FlowId flow;
-    SeqNo seq;
-    bool operator==(const Key& o) const { return flow == o.flow && seq == o.seq; }
-  };
-  struct KeyHash {
-    std::size_t operator()(const Key& k) const {
-      return std::hash<std::uint64_t>{}((static_cast<std::uint64_t>(k.flow) << 32) ^
-                                        (k.seq * 0x9e3779b97f4a7c15ULL));
-    }
-  };
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+
   struct Entry {
-    Packet packet;
-    std::list<Key>::iterator lru_pos;
+    PacketHeader packet;
+    std::uint32_t lru_prev = kNil;
+    std::uint32_t lru_next = kNil;
+    std::uint32_t chain_next = kNil;  // hash chain; freelist link when free
   };
 
-  void touch(Entry& e);
+  static std::size_t hash_key(FlowId flow, SeqNo seq) {
+    return static_cast<std::size_t>(
+        std::hash<std::uint64_t>{}((static_cast<std::uint64_t>(flow) << 32) ^
+                                   (seq * 0x9e3779b97f4a7c15ULL)));
+  }
+  std::size_t bucket_of(FlowId flow, SeqNo seq) const {
+    return hash_key(flow, seq) & bucket_mask_;
+  }
+
+  std::uint32_t find(FlowId flow, SeqNo seq) const;
+  void lru_unlink(std::uint32_t idx);
+  void lru_push_front(std::uint32_t idx);
+  void chain_remove(std::uint32_t idx);
+  void remove_entry(std::uint32_t idx);  // unlink + back to freelist
   void evict_one();
 
   std::size_t capacity_;
-  std::list<Key> lru_;  // front = most recently manipulated
-  std::unordered_map<Key, Entry, KeyHash> map_;
+  std::vector<Entry> entries_;           // slab, size == capacity
+  std::vector<std::uint32_t> buckets_;   // chain heads
+  std::size_t bucket_mask_ = 0;
+  std::uint32_t lru_head_ = kNil;  // most recently manipulated
+  std::uint32_t lru_tail_ = kNil;  // eviction victim
+  std::uint32_t free_head_ = 0;
+  std::size_t live_ = 0;
+
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t evictions_ = 0;

@@ -119,15 +119,17 @@ void EjtpReceiver::send_feedback(bool triggered) {
   if (rate_monitor_.initialized())
     advertised = controller_.update(rate_monitor_.mean());
 
-  Packet ack;
-  ack.type = PacketType::kAck;
-  ack.flow = cfg_.flow;
-  ack.src = cfg_.dst;  // ACKs travel destination -> source
-  ack.dst = cfg_.src;
-  ack.payload_bytes = 0;
-  ack.energy_budget = 0.0;  // ACKs are not energy-budgeted
+  PacketPtr ack = env_.packet_pool().make();
+  ack->type = PacketType::kAck;
+  ack->flow = cfg_.flow;
+  ack->src = cfg_.dst;  // ACKs travel destination -> source
+  ack->dst = cfg_.src;
+  ack->payload_bytes = 0;
+  ack->energy_budget = 0.0;  // ACKs are not energy-budgeted
 
-  AckHeader h;
+  // Build the feedback in place in the pooled slot (no copies, and the
+  // SNACK sets use the slot's inline storage).
+  AckHeader& h = ack->ack.emplace();
   // SNACK only the missing seqs whose previous request (if any) has had a
   // chance to be answered; re-requesting every ACK would make the caches
   // retransmit duplicates of repairs already in flight.
@@ -146,8 +148,9 @@ void EjtpReceiver::send_feedback(bool triggered) {
   const int reorder = (now - last_data_time_ > quiet_after)
                           ? 0
                           : cfg_.reorder_threshold;
-  for (SeqNo seq :
-       tracker_.missing_after_waive(2 * cfg_.max_snack_entries, reorder)) {
+  tracker_.missing_after_waive(snack_scratch_, 2 * cfg_.max_snack_entries,
+                               reorder);
+  for (SeqNo seq : snack_scratch_) {
     auto [it, fresh] = snack_requested_at_.try_emplace(seq, -1e18);
     if (!fresh && now - it->second < retry_interval) continue;
     it->second = now;
@@ -167,7 +170,6 @@ void EjtpReceiver::send_feedback(bool triggered) {
   h.energy_budget = energy_ctl_.budget();
   h.sender_timeout_s = current_feedback_period();
   h.ack_serial = ++ack_serial_;
-  ack.ack = std::move(h);
 
   ++acks_sent_;
   if (triggered) ++triggered_acks_;

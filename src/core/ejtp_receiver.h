@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <functional>
 #include <unordered_map>
+#include <vector>
 
 #include "core/energy_controller.h"
 #include "core/env.h"
@@ -112,6 +113,7 @@ class EjtpReceiver final : public TransportReceiver {
   RateController controller_;
 
   std::unordered_map<SeqNo, double> snack_requested_at_;
+  std::vector<SeqNo> snack_scratch_;  // reused per feedback; no realloc
 
   bool running_ = false;
   TimerId feedback_timer_ = 0;

@@ -49,25 +49,25 @@ void EjtpSender::arm_pacing(double extra_delay) {
   });
 }
 
-Packet EjtpSender::make_data(SeqNo seq, bool is_rtx) {
-  Packet p;
-  p.type = PacketType::kData;
-  p.flow = cfg_.flow;
-  p.src = cfg_.src;
-  p.dst = cfg_.dst;
-  p.seq = seq;
-  p.payload_bytes = cfg_.payload_bytes;
-  p.loss_tolerance = cfg_.loss_tolerance;
-  p.energy_budget = energy_budget_;
-  p.energy_used = 0.0;
-  p.available_rate_pps =
+PacketPtr EjtpSender::make_data(SeqNo seq, bool is_rtx) {
+  PacketPtr p = env_.packet_pool().make();
+  p->type = PacketType::kData;
+  p->flow = cfg_.flow;
+  p->src = cfg_.src;
+  p->dst = cfg_.dst;
+  p->seq = seq;
+  p->payload_bytes = cfg_.payload_bytes;
+  p->loss_tolerance = cfg_.loss_tolerance;
+  p->energy_budget = energy_budget_;
+  p->energy_used = 0.0;
+  p->available_rate_pps =
       std::numeric_limits<double>::infinity();  // stamped along the path
-  p.is_source_retransmission = is_rtx;
-  p.uid = (static_cast<std::uint64_t>(cfg_.flow) << 40) ^ ++packet_uid_seed_;
+  p->is_source_retransmission = is_rtx;
+  p->uid = (static_cast<std::uint64_t>(cfg_.flow) << 40) ^ ++packet_uid_seed_;
   return p;
 }
 
-std::optional<Packet> EjtpSender::next_packet() {
+PacketPtr EjtpSender::next_packet() {
   // Source retransmissions take priority: the receiver explicitly asked.
   while (!rtx_queue_.empty()) {
     const SeqNo seq = rtx_queue_.front();
@@ -80,7 +80,7 @@ std::optional<Packet> EjtpSender::next_packet() {
   const bool more_new =
       (total_packets_ == 0 || next_seq_ < total_packets_) &&
       (next_seq_ - cum_ack_) < cfg_.window_cap_packets;
-  if (!more_new) return std::nullopt;
+  if (!more_new) return {};
   const SeqNo seq = next_seq_++;
   unacked_.emplace(seq, cfg_.payload_bytes);
   return make_data(seq, /*is_rtx=*/false);
@@ -90,7 +90,7 @@ void EjtpSender::pace() {
   if (!running_) return;
   if (auto p = next_packet()) {
     ++data_sent_;
-    sink_.send(std::move(*p));
+    sink_.send(std::move(p));
     arm_pacing();
     return;
   }

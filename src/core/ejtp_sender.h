@@ -19,7 +19,6 @@
 #include <deque>
 #include <functional>
 #include <map>
-#include <optional>
 
 #include "core/env.h"
 #include "core/packet.h"
@@ -91,8 +90,8 @@ class EjtpSender final : public TransportSender {
   void arm_pacing(double extra_delay = 0.0);
   void arm_watchdog();
   void watchdog_fire();
-  std::optional<Packet> next_packet();
-  Packet make_data(SeqNo seq, bool is_rtx);
+  PacketPtr next_packet();  // null when nothing is due
+  PacketPtr make_data(SeqNo seq, bool is_rtx);
   void check_complete();
 
   Env& env_;

@@ -11,26 +11,41 @@
 #include <functional>
 
 #include "core/packet.h"
+#include "core/packet_pool.h"
 
 namespace jtp::core {
 
 using TimerId = std::uint64_t;
 
-// Clock + timer service.
+// Clock + timer + packet-slot service. The pool is part of the
+// environment because packets belong to the simulation instance the
+// endpoint is plugged into (one pool per Env, one Env per Simulator,
+// one Simulator per thread).
 class Env {
  public:
   virtual ~Env() = default;
   virtual double now() const = 0;
+  // Hot-path convention: endpoint timer callables must capture no more
+  // than `this` (every in-tree transport does). schedule() is a virtual
+  // seam, so the callable is type-erased through std::function here; a
+  // capture within its small-object buffer (16 bytes in libstdc++)
+  // stays allocation-free end to end (the std::function itself then
+  // fits the simulator's SmallFn inline storage), while a larger one
+  // would heap-allocate per timer *before* the event pool ever sees it
+  // — invisibly to the pool stats. Keep timer state in the endpoint
+  // object, not the capture.
   virtual TimerId schedule(double delay_s, std::function<void()> fn) = 0;
   virtual void cancel(TimerId id) = 0;
+  virtual PacketPool& packet_pool() = 0;
 };
 
 // Where an end-point hands packets for transmission (the node's network
-// layer / MAC queue).
+// layer / MAC queue). Packets move by pooled handle; a sink that drops
+// the handle drops the packet (the slot is recycled automatically).
 class PacketSink {
  public:
   virtual ~PacketSink() = default;
-  virtual void send(Packet p) = 0;
+  virtual void send(PacketPtr p) = 0;
 };
 
 // What iJTP needs to know about the outgoing link, supplied by the MAC's

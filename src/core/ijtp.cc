@@ -58,20 +58,19 @@ std::size_t IjtpModule::post_rcv(Packet& p, const ForwardFn& forward) {
   // Algorithm 2, ACK branch: satisfy SNACKed packets from the local cache
   // and rewrite the ACK so upstream nodes see them as locally recovered.
   auto& snack = p.ack->snack;
-  std::vector<SeqNo> still_missing;
-  still_missing.reserve(snack.missing.size());
+  SeqList still_missing;  // inline storage: the rewrite never allocates
   std::size_t served = 0;
   for (SeqNo seq : snack.missing) {
     if (served >= cfg_.max_cache_rtx_per_ack) {
       still_missing.push_back(seq);  // burst cap: leave for upstream
       continue;
     }
-    auto hit = cache_.lookup(p.flow, seq);
-    if (!hit) {
+    const PacketHeader* hit = cache_.lookup(p.flow, seq);
+    if (hit == nullptr) {
       still_missing.push_back(seq);
       continue;
     }
-    Packet rtx = *hit;
+    Packet rtx(*hit);  // cached headers carry no ack body
     rtx.is_cache_retransmission = true;
     // The cached copy's soft-state fields describe the path it already
     // travelled; reset the rate stamp so the remaining path re-stamps it.

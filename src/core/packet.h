@@ -1,19 +1,26 @@
 // JTP packet formats (paper Figure 2).
 //
-// The wire format carries, per data packet: available rate, loss tolerance,
-// energy budget/used and a deadline; per ACK: cumulative ACK, SNACK set,
-// locally-recovered set, advertised rate, energy budget and the sender
-// timeout (the receiver's current feedback period T). In the simulator the
-// header is a struct; serialized sizes follow the prototype's 28-byte data
-// header and 200-byte ACK header (paper §6.1) so energy accounting is
-// honest about header overhead.
+// The wire format carries, per data packet: available rate, loss
+// tolerance, energy budget/used and a deadline; per ACK: cumulative ACK,
+// SNACK set, locally-recovered set, advertised rate, energy budget and
+// the sender timeout (the receiver's current feedback period T). In the
+// simulator the header is a struct; serialized sizes follow the
+// prototype's 28-byte data header and 200-byte ACK header (paper §6.1)
+// so energy accounting is honest about header overhead.
+//
+// Hot-path layout: `PacketHeader` is the trivially-copyable part every
+// hop reads and stamps; the ACK-only feedback rides in an `AckBody`
+// whose SNACK sets use inline (SmallVec) storage sized for the
+// protocols' per-ACK entry caps. A `Packet` is the header plus an
+// optional-style ack slot, so building, forwarding and caching packets
+// performs no heap allocation; in the simulation pipeline packets live
+// in `PacketPool` slots and move by handle (see packet_pool.h).
 #pragma once
 
 #include <cstdint>
 #include <limits>
-#include <optional>
-#include <vector>
 
+#include "core/small_vec.h"
 #include "core/types.h"
 
 namespace jtp::core {
@@ -25,18 +32,25 @@ inline constexpr std::uint32_t kDataHeaderBytes = 28;
 inline constexpr std::uint32_t kAckHeaderBytes = 200;
 inline constexpr std::uint32_t kDefaultPayloadBytes = 800;  // Table 1
 
+// Inline SNACK capacity. eJTP caps SNACKs at max_snack_entries (32,
+// Table 1's ACK budget) and TCP-SACK at 16; ATP's 64-hole cap can spill,
+// which SmallVec handles (and counts).
+inline constexpr std::size_t kSnackInlineEntries = 32;
+using SeqList = SmallVec<SeqNo, kSnackInlineEntries>;
+
 // Selective negative acknowledgment: sequence numbers the receiver still
 // needs, plus the set already recovered by an in-network cache on this
 // ACK's way upstream (paper §4).
 struct Snack {
-  std::vector<SeqNo> missing;            // still wanted from upstream
-  std::vector<SeqNo> locally_recovered;  // satisfied by a cache en route
+  SeqList missing;            // still wanted from upstream
+  SeqList locally_recovered;  // satisfied by a cache en route
 
   bool empty() const { return missing.empty() && locally_recovered.empty(); }
 };
 
-// Feedback fields carried by an ACK (paper Figure 2(b)).
-struct AckHeader {
+// Feedback fields carried by an ACK (paper Figure 2(b)). Cold relative
+// to the header: only endpoints and caching hops touch it.
+struct AckBody {
   SeqNo cumulative_ack = 0;   // all seq < cumulative_ack delivered or waived
   Snack snack;
   double advertised_rate_pps = 0.0;  // PI^2/MD controller output
@@ -48,12 +62,12 @@ struct AckHeader {
   // RTT estimator (-1 = absent).
   double echo_send_time = -1.0;
 };
+using AckHeader = AckBody;
 
-// One transport-layer packet traversing the network. The same struct is
-// used end-to-end; intermediate nodes mutate only the soft-state fields
-// (available rate, loss tolerance, energy used), in the spirit of Dynamic
-// Packet State.
-struct Packet {
+// The hot, trivially-copyable part of a packet: what every hop's MAC,
+// iJTP pre-xmit and cache touch. This is also the cache's storage unit —
+// cached data packets carry no ack body.
+struct PacketHeader {
   PacketType type = PacketType::kData;
   FlowId flow = 0;
   NodeId src = kInvalidNode;
@@ -71,9 +85,6 @@ struct Packet {
   Joules energy_budget = 0.0;       // max energy the network may spend
   Joules energy_used = 0.0;         // energy spent so far on this packet
   double deadline_s = 0.0;          // real-time traffic only (0 = none)
-
-  // --- ACK-only header ---
-  std::optional<AckHeader> ack;
 
   // Baselines carry different (smaller/larger) headers; 0 = protocol
   // default sizes above.
@@ -95,6 +106,72 @@ struct Packet {
   double size_bits() const { return 8.0 * size_bytes(); }
   bool is_data() const { return type == PacketType::kData; }
   bool is_ack() const { return type == PacketType::kAck; }
+};
+
+// Optional-style ack body with inline storage (no allocation, no
+// indirection). Engage by assigning an AckBody or via emplace().
+class AckSlot {
+ public:
+  AckSlot() = default;
+  AckSlot(const AckSlot&) = default;
+  AckSlot& operator=(const AckSlot&) = default;
+  AckSlot(AckSlot&& o) noexcept
+      : body_(std::move(o.body_)), engaged_(o.engaged_) {
+    o.engaged_ = false;
+  }
+  AckSlot& operator=(AckSlot&& o) noexcept {
+    if (this != &o) {
+      body_ = std::move(o.body_);
+      engaged_ = o.engaged_;
+      o.engaged_ = false;
+    }
+    return *this;
+  }
+
+  AckSlot& operator=(AckBody&& b) {
+    body_ = std::move(b);
+    engaged_ = true;
+    return *this;
+  }
+  AckSlot& operator=(const AckBody& b) {
+    body_ = b;
+    engaged_ = true;
+    return *this;
+  }
+
+  AckBody& emplace() {
+    body_ = AckBody{};
+    engaged_ = true;
+    return body_;
+  }
+  void reset() {
+    body_ = AckBody{};
+    engaged_ = false;
+  }
+
+  explicit operator bool() const { return engaged_; }
+  bool has_value() const { return engaged_; }
+  AckBody& operator*() { return body_; }
+  const AckBody& operator*() const { return body_; }
+  AckBody* operator->() { return &body_; }
+  const AckBody* operator->() const { return &body_; }
+
+ private:
+  AckBody body_{};
+  bool engaged_ = false;
+};
+
+// One transport-layer packet traversing the network. The same struct is
+// used end-to-end; intermediate nodes mutate only the soft-state fields
+// (available rate, loss tolerance, energy used), in the spirit of Dynamic
+// Packet State.
+struct Packet : PacketHeader {
+  Packet() = default;
+  // Rebuilds a packet from a cached header (cache retransmissions).
+  explicit Packet(const PacketHeader& h) : PacketHeader(h) {}
+
+  // --- ACK-only body ---
+  AckSlot ack;
 };
 
 }  // namespace jtp::core

@@ -54,9 +54,10 @@ bool SeqTracker::can_waive_one() const {
   return (static_cast<double>(waived_count_) + 1.0) <= tolerance_ * total;
 }
 
-std::vector<SeqNo> SeqTracker::missing_after_waive(std::size_t max_count,
-                                                   int reorder_threshold) {
-  std::vector<SeqNo> out;
+void SeqTracker::missing_after_waive(std::vector<SeqNo>& out,
+                                     std::size_t max_count,
+                                     int reorder_threshold) {
+  out.clear();  // capacity retained: a reused buffer never reallocates
   for (SeqNo s = base_; s < horizon_ && out.size() < max_count; ++s) {
     if (out_of_order_.count(s) || waived_.count(s)) continue;
     if (reorder_threshold > 0) {
@@ -74,6 +75,12 @@ std::vector<SeqNo> SeqTracker::missing_after_waive(std::size_t max_count,
     out.push_back(s);
   }
   advance_base();
+}
+
+std::vector<SeqNo> SeqTracker::missing_after_waive(std::size_t max_count,
+                                                   int reorder_threshold) {
+  std::vector<SeqNo> out;
+  missing_after_waive(out, max_count, reorder_threshold);
   return out;
 }
 

@@ -47,6 +47,11 @@ class SeqTracker {
   std::vector<SeqNo> missing_after_waive(std::size_t max_count,
                                          int reorder_threshold = 0);
 
+  // Allocation-free variant for the feedback hot path: fills a
+  // caller-owned buffer (cleared first; its capacity is reused).
+  void missing_after_waive(std::vector<SeqNo>& out, std::size_t max_count,
+                           int reorder_threshold = 0);
+
   // Missing without waiving anything (inspection / full-reliability mode).
   std::vector<SeqNo> missing() const;
 

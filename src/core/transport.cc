@@ -8,6 +8,7 @@ std::string proto_name(Proto p) {
     case Proto::kJnc: return "jnc";
     case Proto::kTcp: return "tcp";
     case Proto::kAtp: return "atp";
+    case Proto::kJtpFf: return "jtp-ff";
   }
   return "?";
 }
@@ -17,6 +18,10 @@ std::optional<Proto> parse_proto(std::string_view name) {
   if (name == "jnc") return Proto::kJnc;
   if (name == "tcp") return Proto::kTcp;
   if (name == "atp") return Proto::kAtp;
+  // kJtpFf is deliberately not CLI-parseable: it is only runnable after
+  // an explicit TransportRegistry registration (see transport_test.cc),
+  // and a parseable-but-unregistered name would turn bench flag errors
+  // into uncaught exceptions.
   return std::nullopt;
 }
 

@@ -29,8 +29,14 @@ namespace jtp::core {
 //   kJtp — the full protocol;
 //   kJnc — JTP with in-network caching disabled (Fig. 4);
 //   kTcp — rate-based TCP-SACK;
-//   kAtp — ATP-like explicit-rate protocol.
-enum class Proto : std::uint8_t { kJtp, kJnc, kTcp, kAtp };
+//   kAtp — ATP-like explicit-rate protocol;
+//   kJtpFf — experimental slot: JTP with constant-rate ("fixed
+//            feedback") ACKing. Not registered by default — it exists to
+//            prove the registry extension seam: a variant becomes
+//            runnable through Network::add_flow with one
+//            TransportRegistry registration and zero edits to
+//            Network/Node/FlowManager (see transport_test.cc).
+enum class Proto : std::uint8_t { kJtp, kJnc, kTcp, kAtp, kJtpFf };
 
 // Canonical lowercase CLI name ("jtp", "jnc", "tcp", "atp").
 std::string proto_name(Proto p);

@@ -15,22 +15,24 @@ TdmaMac::TdmaMac(sim::Simulator& sim, const TdmaSchedule& schedule,
       energy_(energy),
       self_(self),
       cfg_(cfg),
-      estimator_(cfg.estimator) {
+      estimator_(cfg.estimator),
+      ctrl_queue_(cfg.queue_capacity_packets),
+      queue_(cfg.queue_capacity_packets) {
   estimator_.set_capacity_pps(schedule.node_capacity_pps());
 }
 
-bool TdmaMac::enqueue(core::Packet p, core::NodeId next_hop) {
-  auto& q = p.is_ack() ? ctrl_queue_ : queue_;
-  if (q.size() >= cfg_.queue_capacity_packets) {
+bool TdmaMac::enqueue(core::PacketPtr p, core::NodeId next_hop) {
+  TxRing& q = p->is_ack() ? ctrl_queue_ : queue_;
+  if (q.full()) {
     ++queue_drops_;
-    return false;
+    return false;  // `p` goes out of scope: the slot is recycled
   }
   q.push_back(Entry{std::move(p), next_hop, 0, 0});
   schedule_next_tx();
   return true;
 }
 
-std::deque<TdmaMac::Entry>* TdmaMac::current_queue() {
+TdmaMac::TxRing* TdmaMac::current_queue() {
   if (!ctrl_queue_.empty()) return &ctrl_queue_;
   if (!queue_.empty()) return &queue_;
   return nullptr;
@@ -52,7 +54,7 @@ void TdmaMac::schedule_next_tx() {
   });
 }
 
-void TdmaMac::finish_head(std::deque<Entry>& q, bool delivered) {
+void TdmaMac::finish_head(TxRing& q, bool delivered) {
   Entry& e = q.front();
   estimator_.record_packet(e.next_hop,
                            e.attempts_done > 0 ? e.attempts_done : 1);
@@ -61,18 +63,18 @@ void TdmaMac::finish_head(std::deque<Entry>& q, bool delivered) {
 }
 
 void TdmaMac::transmit_head() {
-  std::deque<Entry>* qp = current_queue();
+  TxRing* qp = current_queue();
   if (qp == nullptr) return;
-  std::deque<Entry>& q = *qp;
+  TxRing& q = *qp;
   Entry& e = q.front();
   const bool first_attempt = (e.attempts_done == 0);
   const core::LinkView link = estimator_.view(e.next_hop, sim_.now());
-  const core::Joules tx_e = energy_.tx_energy(e.packet.size_bits());
+  const core::Joules tx_e = energy_.tx_energy(e.packet->size_bits());
 
   PreXmitDecision d;
   d.max_attempts = cfg_.default_max_attempts;
   if (pre_xmit_)
-    d = pre_xmit_(e.packet, e.next_hop, link, tx_e, first_attempt);
+    d = pre_xmit_(*e.packet, e.next_hop, link, tx_e, first_attempt);
   if (d.drop) {
     // Energy budget exceeded (Algorithm 1 line 3): the slot goes unused.
     ++budget_drops_;
@@ -83,8 +85,8 @@ void TdmaMac::transmit_head() {
   if (first_attempt) {
     e.max_attempts =
         d.max_attempts > 0 ? d.max_attempts : cfg_.default_max_attempts;
-    if (attempt_trace_ && e.packet.is_data())
-      attempt_trace_(sim_.now(), e.packet, e.max_attempts);
+    if (attempt_trace_ && e.packet->is_data())
+      attempt_trace_(sim_.now(), *e.packet, e.max_attempts);
   }
 
   // The attempt occupies this node's slot and costs transmit energy
@@ -92,14 +94,16 @@ void TdmaMac::transmit_head() {
   ++transmissions_;
   ++e.attempts_done;
   estimator_.record_slot_used(sim_.now());
-  energy_.charge_tx(self_, e.packet.size_bits());
+  energy_.charge_tx(self_, e.packet->size_bits());
 
   const bool lost = channel_.transmission_lost(self_, e.next_hop, sim_.now());
   estimator_.record_attempt(e.next_hop, lost);
 
   if (!lost) {
-    energy_.charge_rx(e.next_hop, e.packet.size_bits());
-    core::Packet delivered = e.packet;
+    energy_.charge_rx(e.next_hop, e.packet->size_bits());
+    // The handle moves out of the queue entry and rides the delivery
+    // event; no packet bytes are copied on a successful hop.
+    core::PacketPtr delivered = std::move(e.packet);
     const core::NodeId from = self_;
     const core::NodeId to = e.next_hop;
     finish_head(q, /*delivered=*/true);

@@ -13,8 +13,8 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
+#include <vector>
 
 #include "core/env.h"
 #include "core/packet.h"
@@ -45,8 +45,8 @@ class TdmaMac {
   using PreXmitHook = std::function<PreXmitDecision(
       core::Packet&, core::NodeId next_hop, const core::LinkView&,
       core::Joules tx_energy, bool first_attempt)>;
-  using DeliverHook =
-      std::function<void(core::Packet&&, core::NodeId from, core::NodeId to)>;
+  using DeliverHook = std::function<void(core::PacketPtr&&, core::NodeId from,
+                                         core::NodeId to)>;
   using AttemptBudgetTrace =
       std::function<void(sim::Time, const core::Packet&, int max_attempts)>;
 
@@ -59,8 +59,8 @@ class TdmaMac {
   void set_attempt_trace(AttemptBudgetTrace t) { attempt_trace_ = std::move(t); }
 
   // Queues a packet for `next_hop`. Returns false (and counts a queue
-  // drop) when the queue is full.
-  bool enqueue(core::Packet p, core::NodeId next_hop);
+  // drop) when the queue is full; the dropped packet's slot is recycled.
+  bool enqueue(core::PacketPtr p, core::NodeId next_hop);
 
   core::NodeId self() const { return self_; }
   LinkEstimator& estimator() { return estimator_; }
@@ -77,16 +77,42 @@ class TdmaMac {
 
  private:
   struct Entry {
-    core::Packet packet;
+    core::PacketPtr packet;
     core::NodeId next_hop = core::kInvalidNode;
     int attempts_done = 0;
     int max_attempts = 0;  // fixed on first attempt
   };
 
+  // Fixed-capacity FIFO ring: the transmit queue's bound is a protocol
+  // parameter (queue_capacity_packets), so the storage is allocated once
+  // at construction and enqueue/dequeue never touch the heap.
+  class TxRing {
+   public:
+    explicit TxRing(std::size_t capacity) : buf_(capacity) {}
+    bool full() const { return size_ == buf_.size(); }
+    bool empty() const { return size_ == 0; }
+    std::size_t size() const { return size_; }
+    Entry& front() { return buf_[head_]; }
+    void push_back(Entry&& e) {
+      buf_[(head_ + size_) % buf_.size()] = std::move(e);
+      ++size_;
+    }
+    void pop_front() {
+      buf_[head_] = Entry{};  // release the packet handle
+      head_ = (head_ + 1) % buf_.size();
+      --size_;
+    }
+
+   private:
+    std::vector<Entry> buf_;
+    std::size_t head_ = 0;
+    std::size_t size_ = 0;
+  };
+
   void schedule_next_tx();
   void transmit_head();
-  void finish_head(std::deque<Entry>& q, bool delivered);
-  std::deque<Entry>* current_queue();
+  void finish_head(TxRing& q, bool delivered);
+  TxRing* current_queue();
 
   sim::Simulator& sim_;
   const TdmaSchedule& schedule_;
@@ -99,8 +125,8 @@ class TdmaMac {
   // Control traffic (ACKs) is transmitted before data: feedback keeps the
   // rate controllers honest precisely when queues are backlogged, and an
   // ACK stuck behind 50 data packets per hop arrives too stale to matter.
-  std::deque<Entry> ctrl_queue_;
-  std::deque<Entry> queue_;
+  TxRing ctrl_queue_;
+  TxRing queue_;
   bool tx_scheduled_ = false;
   std::uint64_t min_slot_ = 0;  // earliest slot the next tx may use
 

@@ -12,7 +12,7 @@ Network::Network(phy::Topology topology, NetworkConfig cfg)
       channel_(cfg.channel, sim::Rng(cfg.seed).derive("channel")),
       energy_(topo_.size(), cfg.radio),
       schedule_(topo_.size(), cfg.slot_duration_s, cfg.seed ^ 0x7d3aULL),
-      env_(sim_) {
+      env_(sim_, pool_) {
   routing_ = std::make_unique<routing::LinkStateRouting>(sim_, topo_,
                                                          cfg.routing);
   if (cfg.mobility) {
@@ -24,12 +24,12 @@ Network::Network(phy::Topology topology, NetworkConfig cfg)
   for (core::NodeId id = 0; id < topo_.size(); ++id) {
     macs_.push_back(std::make_unique<mac::TdmaMac>(
         sim_, schedule_, channel_, energy_, id, cfg.mac));
-    nodes_.push_back(
-        std::make_unique<Node>(id, *macs_.back(), *routing_, flows_, cfg.node));
+    nodes_.push_back(std::make_unique<Node>(id, *macs_.back(), *routing_,
+                                            flows_, pool_, cfg.node));
   }
   // Fabric: successful transmissions land at the destination node's stack.
   for (auto& m : macs_) {
-    m->set_deliver([this](core::Packet&& p, core::NodeId from,
+    m->set_deliver([this](core::PacketPtr&& p, core::NodeId from,
                           core::NodeId to) {
       nodes_.at(to)->handle_delivery(std::move(p), from);
     });

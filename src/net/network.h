@@ -59,6 +59,7 @@ class Network {
   // --- access ---
   sim::Simulator& simulator() { return sim_; }
   core::Env& env() { return env_; }
+  core::PacketPool& packet_pool() { return pool_; }
   phy::Topology& topology() { return topo_; }
   phy::Channel& channel() { return channel_; }
   phy::EnergyModel& energy() { return energy_; }
@@ -86,6 +87,9 @@ class Network {
   core::FlowId next_flow_id_ = 1;
 
   NetworkConfig cfg_;
+  // Declared before the simulator: pending delivery events own packet
+  // handles, and the pool must outlive them (see sim_env.h).
+  core::PacketPool pool_;
   sim::Simulator sim_;
   sim::Rng rng_;
   phy::Topology topo_;

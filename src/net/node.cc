@@ -7,11 +7,12 @@ namespace jtp::net {
 
 Node::Node(core::NodeId id, mac::TdmaMac& mac,
            const routing::LinkStateRouting& routing, const FlowTable& flows,
-           NodeConfig cfg)
+           core::PacketPool& pool, NodeConfig cfg)
     : id_(id),
       mac_(mac),
       routing_(routing),
       flows_(flows),
+      pool_(pool),
       cfg_(cfg),
       ijtp_(cfg.ijtp) {
   mac_.set_pre_xmit([this](core::Packet& p, core::NodeId next_hop,
@@ -29,10 +30,10 @@ void Node::attach_ack_handler(core::FlowId flow, PacketHandler h) {
   ack_handlers_[flow] = std::move(h);
 }
 
-void Node::send(core::Packet p) { try_send(std::move(p)); }
+void Node::send(core::PacketPtr p) { try_send(std::move(p)); }
 
-bool Node::try_send(core::Packet p) {
-  const auto next = routing_.next_hop(id_, p.dst);
+bool Node::try_send(core::PacketPtr p) {
+  const auto next = routing_.next_hop(id_, p->dst);
   if (!next) {
     // The current topology view has no route (partition or staleness).
     ++route_drops_;
@@ -87,16 +88,18 @@ mac::PreXmitDecision Node::pre_xmit(core::Packet& p, core::NodeId /*next_hop*/,
   return {false, cfg_.baseline_max_attempts};
 }
 
-void Node::handle_delivery(core::Packet&& p, core::NodeId /*from*/) {
-  const bool local = (p.dst == id_);
+void Node::handle_delivery(core::PacketPtr p, core::NodeId /*from*/) {
+  const bool local = (p->dst == id_);
 
   // iJTP post-receive (Algorithm 2) runs at intermediate nodes of JTP
   // flows: cache traversing data, serve SNACKs from the cache (queued
   // toward the data destination), rewrite the ACK's locally-recovered set
-  // before it continues upstream.
-  if (!local && flows_.policy(p.flow) == HopPolicy::kIjtp) {
-    ijtp_.post_rcv(
-        p, [this](core::Packet&& rtx) { return try_send(std::move(rtx)); });
+  // before it continues upstream. Cache retransmissions are stack-built
+  // Packet values (headers only); they enter the pool here.
+  if (!local && flows_.policy(p->flow) == HopPolicy::kIjtp) {
+    ijtp_.post_rcv(*p, [this](core::Packet&& rtx) {
+      return try_send(pool_.make(std::move(rtx)));
+    });
   }
 
   if (!local) {
@@ -105,12 +108,12 @@ void Node::handle_delivery(core::Packet&& p, core::NodeId /*from*/) {
     return;
   }
 
-  if (p.is_data()) {
-    if (auto it = data_handlers_.find(p.flow); it != data_handlers_.end())
-      it->second(p);
+  if (p->is_data()) {
+    if (auto it = data_handlers_.find(p->flow); it != data_handlers_.end())
+      it->second(*p);
   } else {
-    if (auto it = ack_handlers_.find(p.flow); it != ack_handlers_.end())
-      it->second(p);
+    if (auto it = ack_handlers_.find(p->flow); it != ack_handlers_.end())
+      it->second(*p);
   }
 }
 

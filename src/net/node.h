@@ -16,6 +16,7 @@
 
 #include "core/ijtp.h"
 #include "core/packet.h"
+#include "core/packet_pool.h"
 #include "core/types.h"
 #include "mac/tdma_mac.h"
 #include "routing/link_state.h"
@@ -59,9 +60,11 @@ struct NodeConfig {
 
 class Node final : public core::PacketSink {
  public:
+  // `pool` is the simulation's packet pool (cache retransmissions clone
+  // cached headers into fresh slots); it must outlive the node.
   Node(core::NodeId id, mac::TdmaMac& mac,
        const routing::LinkStateRouting& routing, const FlowTable& flows,
-       NodeConfig cfg = {});
+       core::PacketPool& pool, NodeConfig cfg = {});
 
   core::NodeId id() const { return id_; }
   core::IjtpModule& ijtp() { return ijtp_; }
@@ -69,15 +72,16 @@ class Node final : public core::PacketSink {
   mac::TdmaMac& mac() { return mac_; }
 
   // PacketSink: local endpoints and the forwarding path inject here.
-  void send(core::Packet p) override;
+  // Packets move by pooled handle end to end (zero copies per hop).
+  void send(core::PacketPtr p) override;
 
   // Like send(), but reports whether the packet was accepted by the MAC
   // queue (false on route failure or queue overflow). Used by iJTP's
   // cache-retransmission path, which must know if the copy really left.
-  bool try_send(core::Packet p);
+  bool try_send(core::PacketPtr p);
 
   // Called by the network fabric when a transmission reaches this node.
-  void handle_delivery(core::Packet&& p, core::NodeId from);
+  void handle_delivery(core::PacketPtr p, core::NodeId from);
 
   // Local endpoint registration. Data handler runs for data packets whose
   // dst is this node; ack handler for ACKs whose dst is this node.
@@ -97,6 +101,7 @@ class Node final : public core::PacketSink {
   mac::TdmaMac& mac_;
   const routing::LinkStateRouting& routing_;
   const FlowTable& flows_;
+  core::PacketPool& pool_;
   NodeConfig cfg_;
   core::IjtpModule ijtp_;
 

@@ -20,12 +20,14 @@ double Channel::mean_good_dwell_s() const {
 }
 
 Channel::LinkState& Channel::state_for(core::NodeId a, core::NodeId b) {
-  const auto key = std::minmax(a, b);
+  const auto mm = std::minmax(a, b);
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(mm.first) << 32) | mm.second;
   auto it = links_.find(key);
   if (it == links_.end()) {
+    if (links_.empty()) links_.reserve(64);
     LinkState s;
-    s.rng = master_.derive("link", (static_cast<std::uint64_t>(key.first) << 32) |
-                                       key.second);
+    s.rng = master_.derive("link", key);
     s.bad = false;
     s.next_flip = s.rng.exponential(mean_good_dwell_s());
     it = links_.emplace(key, std::move(s)).first;

@@ -8,8 +8,7 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
-#include <utility>
+#include <unordered_map>
 
 #include "core/types.h"
 #include "sim/random.h"
@@ -52,8 +51,13 @@ class Channel {
 
   ChannelConfig cfg_;
   sim::Rng master_;
-  // Links are undirected for fading purposes: key is the sorted pair.
-  std::map<std::pair<core::NodeId, core::NodeId>, LinkState> links_;
+  // Links are undirected for fading purposes: the key packs the sorted
+  // (low, high) pair into one word. transmission_lost() runs once per
+  // MAC attempt, so the lookup is a hot-path O(1) hash instead of a
+  // red-black-tree walk; per-link state is created lazily on first
+  // query (idle links cost nothing) and derived from the master rng by
+  // key, so creation order cannot perturb determinism.
+  std::unordered_map<std::uint64_t, LinkState> links_;
 };
 
 }  // namespace jtp::phy

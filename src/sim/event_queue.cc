@@ -1,50 +1,114 @@
 #include "sim/event_queue.h"
 
-#include <cassert>
-#include <utility>
-
 namespace jtp::sim {
 
-EventId EventQueue::push(Time at, std::function<void()> fn) {
-  const EventId id = next_id_++;
-  heap_.push(Entry{at, id, std::move(fn)});
-  cancelled_.push_back(false);
-  ++live_;
-  return id;
+std::uint32_t EventQueue::acquire_slot() {
+  std::uint32_t idx;
+  if (free_head_ != kNpos) {
+    idx = free_head_;
+    free_head_ = slots_[idx].next_free;
+    slots_[idx].next_free = kNpos;
+    ++slot_reuses_;
+  } else {
+    idx = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  if (heap_.size() + 1 > slots_high_water_)
+    slots_high_water_ = heap_.size() + 1;
+  return idx;
+}
+
+void EventQueue::heap_insert(const HeapNode& n) {
+  heap_.emplace_back();  // place() overwrites; reserves the position
+  sift_up(static_cast<std::uint32_t>(heap_.size() - 1), n);
+}
+
+void EventQueue::release_slot(std::uint32_t idx) {
+  Slot& s = slots_[idx];
+  s.fn.reset();
+  s.heap_pos = kNpos;
+  ++s.gen;
+  s.next_free = free_head_;
+  free_head_ = idx;
 }
 
 void EventQueue::cancel(EventId id) {
-  if (id >= cancelled_.size() || cancelled_[id]) return;
-  cancelled_[id] = true;
-  if (live_ > 0) --live_;
-}
-
-void EventQueue::drop_cancelled_head() const {
-  while (!heap_.empty() && cancelled_[heap_.top().id]) heap_.pop();
-}
-
-bool EventQueue::empty() const {
-  drop_cancelled_head();
-  return heap_.empty();
-}
-
-Time EventQueue::next_time() const {
-  drop_cancelled_head();
-  assert(!heap_.empty());
-  return heap_.top().at;
+  const std::uint32_t idx = static_cast<std::uint32_t>(id & 0xffffffffu);
+  const std::uint32_t gen = static_cast<std::uint32_t>(id >> 32);
+  if (idx >= slots_.size()) return;
+  Slot& s = slots_[idx];
+  if (s.gen != gen || s.heap_pos == kNpos) return;  // fired or cancelled
+  heap_remove(s.heap_pos);
+  release_slot(idx);
 }
 
 EventQueue::Event EventQueue::pop() {
-  drop_cancelled_head();
   assert(!heap_.empty());
-  // priority_queue::top() is const; the entry is moved out via const_cast,
-  // which is safe because the element is popped immediately after.
-  auto& top = const_cast<Entry&>(heap_.top());
-  Event ev{top.at, top.id, std::move(top.fn)};
-  heap_.pop();
-  assert(live_ > 0);
-  --live_;
+  const std::uint32_t idx = heap_[0].idx;
+  Slot& s = slots_[idx];
+  // The callback is moved out before the slot is recycled: executing it
+  // may push new events, which can reuse (or reallocate) the slot.
+  Event ev{heap_[0].at, make_id(idx, s.gen), std::move(s.fn)};
+  heap_remove(0);
+  release_slot(idx);
   return ev;
+}
+
+void EventQueue::clear() {
+  while (!heap_.empty()) {
+    const std::uint32_t idx = heap_.back().idx;
+    heap_.pop_back();
+    release_slot(idx);
+  }
+}
+
+PoolStats EventQueue::slot_stats() const {
+  PoolStats st;
+  st.capacity = slots_.size();
+  st.in_use = heap_.size();
+  st.high_water = slots_high_water_;
+  st.reuses = slot_reuses_;
+  st.heap_allocs = slots_.size();  // each slot was created exactly once
+  return st;
+}
+
+void EventQueue::heap_remove(std::uint32_t pos) {
+  assert(pos < heap_.size());
+  const HeapNode last = heap_.back();
+  heap_.pop_back();
+  if (pos == heap_.size()) return;  // removed the tail
+  // The moved element may violate either direction.
+  if (pos > 0 && before(last, heap_[(pos - 1) / 4])) {
+    sift_up(pos, last);
+  } else {
+    sift_down(pos, last);
+  }
+}
+
+void EventQueue::sift_up(std::uint32_t pos, HeapNode n) {
+  while (pos > 0) {
+    const std::uint32_t parent = (pos - 1) / 4;
+    if (!before(n, heap_[parent])) break;
+    place(pos, heap_[parent]);
+    pos = parent;
+  }
+  place(pos, n);
+}
+
+void EventQueue::sift_down(std::uint32_t pos, HeapNode n) {
+  const std::uint32_t count = static_cast<std::uint32_t>(heap_.size());
+  for (;;) {
+    std::uint32_t first = 4 * pos + 1;
+    if (first >= count) break;
+    std::uint32_t best = first;
+    const std::uint32_t end = first + 4 < count ? first + 4 : count;
+    for (std::uint32_t c = first + 1; c < end; ++c)
+      if (before(heap_[c], heap_[best])) best = c;
+    if (!before(heap_[best], n)) break;
+    place(pos, heap_[best]);
+    pos = best;
+  }
+  place(pos, n);
 }
 
 }  // namespace jtp::sim

@@ -1,68 +1,134 @@
-// Discrete-event queue: a stable min-heap of timestamped callbacks.
+// Discrete-event queue: pooled event slots indexed by a 4-ary min-heap.
 //
 // Events scheduled for the same instant fire in insertion order (FIFO),
 // which keeps simulations deterministic across runs and platforms.
+//
+// Layout: every pending event lives in a slot of a freelist-recycled
+// vector; the heap orders slot indices by (time, fifo#). Slots record
+// their heap position, so cancel-by-id removes the event from the heap
+// in O(log n) and recycles the slot immediately — there are no
+// tombstones to drift past on pop, and no lazy sweep. EventIds carry a
+// per-slot generation so a stale id (event already fired or cancelled)
+// is recognized and ignored even after the slot has been reused.
+// Callbacks are SmallFn (see small_fn.h): inline storage for every
+// in-tree closure, pool-backed spill for larger ones — the steady-state
+// schedule/cancel/pop cycle performs no heap allocation.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <utility>
 #include <vector>
 
+#include "sim/small_fn.h"
+#include "sim/stats.h"
 #include "sim/time.h"
 
 namespace jtp::sim {
 
-// Handle used to cancel a pending event. Cancellation is lazy: the event
-// stays in the heap but is skipped when popped.
+// Handle used to cancel a pending event. Encodes (generation, slot);
+// cancelling an already-fired or unknown id is a harmless no-op.
 using EventId = std::uint64_t;
 
 class EventQueue {
  public:
   EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+  ~EventQueue() { clear(); }
 
   // Enqueues `fn` to fire at absolute time `at`. Returns a cancellation id.
-  EventId push(Time at, std::function<void()> fn);
+  template <typename F>
+  EventId push(Time at, F&& fn) {
+    const std::uint32_t idx = acquire_slot();
+    Slot& s = slots_[idx];
+    s.fn = SmallFn(std::forward<F>(fn), spill_);
+    heap_insert(HeapNode{at, next_fifo_++, idx});
+    return make_id(idx, s.gen);
+  }
 
-  // Marks a pending event as cancelled. Cancelling an already-fired or
-  // unknown id is a harmless no-op.
+  // Removes a pending event. Cancelling an already-fired, already-
+  // cancelled, or unknown id is a harmless no-op.
   void cancel(EventId id);
 
-  bool empty() const;
-  std::size_t size() const { return live_; }
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
 
   // Time of the earliest live event. Requires !empty().
-  Time next_time() const;
+  Time next_time() const {
+    assert(!heap_.empty());
+    return heap_[0].at;
+  }
 
   // Pops and returns the earliest live event. Requires !empty().
   struct Event {
     Time at{};
     EventId id{};
-    std::function<void()> fn;
+    SmallFn fn;
   };
   Event pop();
 
-  std::uint64_t total_scheduled() const { return next_id_; }
+  // Drops every pending event; slot and spill capacity is retained for
+  // reuse (Simulator::reset).
+  void clear();
+
+  std::uint64_t total_scheduled() const { return next_fifo_; }
+
+  // Freelist accounting for the event-slot pool and the callback spill
+  // pool; the zero-allocation tests pin steady state with these.
+  PoolStats slot_stats() const;
+  const PoolStats& spill_stats() const { return spill_.stats(); }
 
  private:
-  struct Entry {
+  static constexpr std::uint32_t kNpos = 0xffffffffu;
+
+  // The (time, fifo#) ordering key lives in the heap nodes themselves:
+  // sift comparisons stay inside the heap array (no per-compare
+  // indirection into the slot pool), which is what keeps a million-event
+  // heap fast. Slots hold the callback plus the bookkeeping cancel needs.
+  struct HeapNode {
     Time at{};
-    EventId id{};
-    std::function<void()> fn;
-  };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.at != b.at) return a.at > b.at;
-      return a.id > b.id;  // FIFO among simultaneous events
-    }
+    std::uint64_t fifo = 0;
+    std::uint32_t idx = 0;  // slot index
   };
 
-  void drop_cancelled_head() const;
+  struct Slot {
+    SmallFn fn;
+    std::uint32_t heap_pos = kNpos;   // kNpos while free
+    std::uint32_t gen = 0;            // bumped on each release
+    std::uint32_t next_free = kNpos;  // freelist link while free
+  };
 
-  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  mutable std::vector<bool> cancelled_;  // indexed by EventId
-  std::size_t live_ = 0;
-  EventId next_id_ = 0;
+  static EventId make_id(std::uint32_t idx, std::uint32_t gen) {
+    return (static_cast<EventId>(gen) << 32) | idx;
+  }
+
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t idx);
+
+  // (time, fifo) strict weak order; fifo ties are impossible.
+  static bool before(const HeapNode& a, const HeapNode& b) {
+    if (a.at != b.at) return a.at < b.at;
+    return a.fifo < b.fifo;
+  }
+
+  void heap_insert(const HeapNode& n);
+  void heap_remove(std::uint32_t pos);
+  void sift_up(std::uint32_t pos, HeapNode n);
+  void sift_down(std::uint32_t pos, HeapNode n);
+  void place(std::uint32_t pos, const HeapNode& n) {
+    heap_[pos] = n;
+    slots_[n.idx].heap_pos = pos;
+  }
+
+  std::vector<Slot> slots_;
+  std::vector<HeapNode> heap_;  // 4-ary min-heap keyed by (at, fifo)
+  std::uint32_t free_head_ = kNpos;
+  std::uint64_t next_fifo_ = 0;
+  SpillPool spill_;
+
+  std::size_t slots_high_water_ = 0;
+  std::uint64_t slot_reuses_ = 0;
 };
 
 }  // namespace jtp::sim

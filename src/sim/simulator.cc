@@ -1,20 +1,8 @@
 #include "sim/simulator.h"
 
 #include <cassert>
-#include <stdexcept>
-#include <utility>
 
 namespace jtp::sim {
-
-EventId Simulator::schedule(Time delay, std::function<void()> fn) {
-  if (delay < 0) throw std::invalid_argument("Simulator::schedule: negative delay");
-  return queue_.push(now_ + delay, std::move(fn));
-}
-
-EventId Simulator::at(Time at, std::function<void()> fn) {
-  if (at < now_) throw std::invalid_argument("Simulator::at: time in the past");
-  return queue_.push(at, std::move(fn));
-}
 
 std::uint64_t Simulator::run_until(Time t) {
   std::uint64_t ran = 0;
@@ -28,6 +16,12 @@ std::uint64_t Simulator::run_until(Time t) {
   }
   if (now_ < t && t < std::numeric_limits<Time>::max()) now_ = t;
   return ran;
+}
+
+void Simulator::reset() {
+  queue_.clear();
+  now_ = kTimeZero;
+  executed_ = 0;
 }
 
 }  // namespace jtp::sim

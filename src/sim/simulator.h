@@ -2,11 +2,17 @@
 //
 // Components schedule callbacks with schedule()/at() and read the clock via
 // now(). run_until() advances virtual time; there is no wall-clock coupling.
+//
+// schedule()/at() accept any void() callable and store it without heap
+// allocation in the steady state (see event_queue.h / small_fn.h); the
+// pool occupancy behind that claim is readable via event_pool_stats() /
+// callback_spill_stats().
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <limits>
+#include <stdexcept>
+#include <utility>
 
 #include "sim/event_queue.h"
 #include "sim/time.h"
@@ -22,10 +28,20 @@ class Simulator {
   Time now() const { return now_; }
 
   // Schedules `fn` after `delay` seconds (>= 0). Returns a cancellable id.
-  EventId schedule(Time delay, std::function<void()> fn);
+  template <typename F>
+  EventId schedule(Time delay, F&& fn) {
+    if (delay < 0)
+      throw std::invalid_argument("Simulator::schedule: negative delay");
+    return queue_.push(now_ + delay, std::forward<F>(fn));
+  }
 
   // Schedules `fn` at absolute time `at` (>= now()).
-  EventId at(Time at, std::function<void()> fn);
+  template <typename F>
+  EventId at(Time at, F&& fn) {
+    if (at < now_)
+      throw std::invalid_argument("Simulator::at: time in the past");
+    return queue_.push(at, std::forward<F>(fn));
+  }
 
   void cancel(EventId id) { queue_.cancel(id); }
 
@@ -36,8 +52,18 @@ class Simulator {
   // Runs until the queue drains.
   std::uint64_t run() { return run_until(std::numeric_limits<Time>::max()); }
 
+  // Drops all pending events and rewinds the clock to zero. Pooled event
+  // slots and spill blocks are retained, so a reset-and-rerun reuses the
+  // previous run's capacity instead of reallocating it.
+  void reset();
+
   std::uint64_t events_executed() const { return executed_; }
   bool pending() const { return !queue_.empty(); }
+
+  PoolStats event_pool_stats() const { return queue_.slot_stats(); }
+  const PoolStats& callback_spill_stats() const {
+    return queue_.spill_stats();
+  }
 
  private:
   EventQueue queue_;

@@ -12,6 +12,25 @@
 
 namespace jtp::sim {
 
+// Occupancy accounting shared by the hot-path freelist pools (event
+// slots, SmallFn spill blocks, packet slots). `high_water` is the proof
+// obligation for the zero-allocation claim: once a workload's working
+// set is pooled, `heap_allocs` and `high_water` stop moving while
+// `reuses` keeps counting — a growing `heap_allocs` under steady load
+// means some path still allocates.
+struct PoolStats {
+  std::size_t capacity = 0;    // objects ever created by the pool
+  std::size_t in_use = 0;      // currently handed out
+  std::size_t high_water = 0;  // max simultaneous in_use
+  std::uint64_t reuses = 0;       // acquisitions served from the freelist
+  std::uint64_t heap_allocs = 0;  // acquisitions that had to allocate
+  // Requests too large for the pool's block size, served by plain
+  // operator new (must stay zero in steady state).
+  std::uint64_t oversize_allocs = 0;
+
+  std::size_t free_count() const { return capacity - in_use; }
+};
+
 // Streaming mean/variance via Welford's algorithm.
 class Summary {
  public:

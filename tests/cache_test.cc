@@ -22,7 +22,7 @@ TEST(PacketCache, InsertThenLookup) {
   PacketCache c(10);
   c.insert(data(1, 5));
   const auto hit = c.lookup(1, 5);
-  ASSERT_TRUE(hit.has_value());
+  ASSERT_TRUE(hit != nullptr);
   EXPECT_EQ(hit->seq, 5u);
   EXPECT_EQ(hit->flow, 1u);
   EXPECT_EQ(c.hits(), 1u);
@@ -30,7 +30,7 @@ TEST(PacketCache, InsertThenLookup) {
 
 TEST(PacketCache, MissReturnsNullopt) {
   PacketCache c(10);
-  EXPECT_FALSE(c.lookup(1, 5).has_value());
+  EXPECT_EQ(c.lookup(1, 5), nullptr);
   EXPECT_EQ(c.misses(), 1u);
 }
 
@@ -49,8 +49,8 @@ TEST(PacketCache, FlowsAreDistinct) {
   c.insert(data(1, 5));
   c.insert(data(2, 5));
   EXPECT_EQ(c.size(), 2u);
-  EXPECT_TRUE(c.lookup(1, 5).has_value());
-  EXPECT_TRUE(c.lookup(2, 5).has_value());
+  EXPECT_NE(c.lookup(1, 5), nullptr);
+  EXPECT_NE(c.lookup(2, 5), nullptr);
 }
 
 TEST(PacketCache, EvictsLeastRecentlyManipulated) {
@@ -70,7 +70,7 @@ TEST(PacketCache, LookupRefreshesLru) {
   c.insert(data(1, 1));
   c.insert(data(1, 2));
   // Touch seq 0: it becomes most recent; inserting evicts seq 1 instead.
-  ASSERT_TRUE(c.lookup(1, 0).has_value());
+  ASSERT_NE(c.lookup(1, 0), nullptr);
   c.insert(data(1, 3));
   EXPECT_TRUE(c.contains(1, 0));
   EXPECT_FALSE(c.contains(1, 1));
@@ -104,7 +104,7 @@ TEST(PacketCache, CachedCopyStripsRetransmissionMarkers) {
   p.is_cache_retransmission = true;
   c.insert(p);
   const auto hit = c.lookup(1, 9);
-  ASSERT_TRUE(hit.has_value());
+  ASSERT_TRUE(hit != nullptr);
   EXPECT_FALSE(hit->is_source_retransmission);
   EXPECT_FALSE(hit->is_cache_retransmission);
 }

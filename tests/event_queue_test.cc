@@ -95,5 +95,133 @@ TEST(EventQueue, ManyInterleavedPushPop) {
   }
 }
 
+// Regression for the indexed-heap rewrite: same-instant events must fire
+// in insertion order even when cancellations and re-schedules are
+// interleaved between them (cancel swaps the heap tail into the hole,
+// which must not perturb the FIFO tiebreak of the survivors).
+TEST(EventQueue, FifoSurvivesCancelRescheduleInterleavings) {
+  EventQueue q;
+  std::vector<int> order;
+  std::vector<EventId> ids;
+  // 20 same-instant events; cancel every third, re-scheduling a
+  // replacement (which must fire *after* all older survivors).
+  for (int i = 0; i < 20; ++i)
+    ids.push_back(q.push(5.0, [&order, i] { order.push_back(i); }));
+  std::vector<int> expected;
+  for (int i = 0; i < 20; ++i)
+    if (i % 3 != 0) expected.push_back(i);
+  for (int i = 0; i < 20; i += 3) q.cancel(ids[i]);
+  for (int i = 0; i < 20; i += 3) {
+    const int replacement = 100 + i;
+    q.push(5.0, [&order, replacement] { order.push_back(replacement); });
+    expected.push_back(replacement);
+  }
+  // A different-time event interleaved mid-stream must not disturb them.
+  q.push(4.0, [&order] { order.push_back(-1); });
+  expected.insert(expected.begin(), -1);
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(order, expected);
+}
+
+TEST(EventQueue, FifoSurvivesSlotReuse) {
+  // Slots freed by fired events are reused by later pushes; the FIFO
+  // tiebreak must follow push order, not slot order.
+  EventQueue q;
+  std::vector<int> order;
+  q.push(1.0, [&] { order.push_back(1); });
+  q.push(1.0, [&] { order.push_back(2); });
+  q.pop().fn();  // frees a slot
+  q.push(1.0, [&] { order.push_back(3); });  // reuses it; fires after 2
+  q.push(1.0, [&] { order.push_back(4); });
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(EventQueue, StaleIdAfterSlotReuseIsNoop) {
+  EventQueue q;
+  bool fired = false;
+  const EventId a = q.push(1.0, [] {});
+  q.cancel(a);  // frees the slot
+  // The next push reuses the slot under a new generation.
+  q.push(2.0, [&] { fired = true; });
+  q.cancel(a);  // stale id: must NOT cancel the new event
+  EXPECT_EQ(q.size(), 1u);
+  while (!q.empty()) q.pop().fn();
+  EXPECT_TRUE(fired);
+}
+
+TEST(EventQueue, CancelByIdIsExactUnderHeavyChurn) {
+  // Every scheduled event is either cancelled or fired, never both, with
+  // cancels hitting arbitrary heap positions.
+  EventQueue q;
+  std::vector<EventId> ids;
+  std::vector<int> fired(300, 0);
+  for (int i = 0; i < 300; ++i)
+    ids.push_back(
+        q.push((i * 7919) % 97, [&fired, i] { fired[i] = 1; }));
+  std::vector<bool> cancelled(300, false);
+  for (int i = 0; i < 300; i += 2) {
+    q.cancel(ids[(i * 31) % 300]);
+    cancelled[(i * 31) % 300] = true;
+  }
+  while (!q.empty()) q.pop().fn();
+  for (int i = 0; i < 300; ++i)
+    EXPECT_EQ(fired[i], cancelled[i] ? 0 : 1) << i;
+}
+
+TEST(EventQueue, SlotPoolRecyclesAndTracksHighWater) {
+  EventQueue q;
+  for (int round = 0; round < 4; ++round) {
+    for (int i = 0; i < 100; ++i) q.push(i, [] {});
+    while (!q.empty()) q.pop();
+  }
+  const PoolStats st = q.slot_stats();
+  EXPECT_EQ(st.capacity, 100u);  // one round's worth, never more
+  EXPECT_EQ(st.high_water, 100u);
+  EXPECT_EQ(st.in_use, 0u);
+  EXPECT_EQ(st.reuses, 300u);  // rounds 2..4 ran entirely on the freelist
+  EXPECT_EQ(q.total_scheduled(), 400u);
+}
+
+// --- SmallFn storage: SBO boundary and spill-pool reuse ---
+
+TEST(EventQueue, SmallCapturesStayInline) {
+  EventQueue q;
+  char small[SmallFn::kInlineBytes - 8] = {1};
+  int sink = 0;
+  q.push(1.0, [small, &sink] { sink += small[0]; });
+  EXPECT_EQ(q.spill_stats().capacity, 0u);  // no spill block created
+  q.pop().fn();
+  EXPECT_EQ(sink, 1);
+}
+
+TEST(EventQueue, OversizeCapturesSpillToPoolAndRecycle) {
+  EventQueue q;
+  char big[SmallFn::kInlineBytes + 16] = {1};
+  int sink = 0;
+  for (int round = 0; round < 5; ++round) {
+    q.push(1.0, [big, &sink] { sink += big[0]; });
+    q.pop().fn();
+  }
+  const PoolStats& sp = q.spill_stats();
+  EXPECT_EQ(sp.capacity, 1u);     // one block, recycled every round
+  EXPECT_EQ(sp.heap_allocs, 1u);  // allocated exactly once
+  EXPECT_EQ(sp.reuses, 4u);
+  EXPECT_EQ(sp.in_use, 0u);
+  EXPECT_EQ(sp.oversize_allocs, 0u);
+  EXPECT_EQ(sink, 5);
+}
+
+TEST(EventQueue, BeyondBlockSizeIsCountedAsOversize) {
+  EventQueue q;
+  char huge[SpillPool::kBlockBytes + 64] = {1};
+  int sink = 0;
+  q.push(1.0, [huge, &sink] { sink += huge[0]; });
+  EXPECT_EQ(q.spill_stats().oversize_allocs, 1u);
+  q.pop().fn();
+  EXPECT_EQ(q.spill_stats().in_use, 0u);
+  EXPECT_EQ(sink, 1);
+}
+
 }  // namespace
 }  // namespace jtp::sim

@@ -57,6 +57,56 @@ TEST(Bits, ConvertsBytes) {
   EXPECT_DOUBLE_EQ(bits(0), 0.0);
 }
 
+TEST(AckSlot, EngagesOnAssignmentAndEmplace) {
+  Packet p;
+  EXPECT_FALSE(p.ack);
+  AckHeader h;
+  h.cumulative_ack = 12;
+  p.ack = std::move(h);
+  ASSERT_TRUE(p.ack);
+  EXPECT_EQ(p.ack->cumulative_ack, 12u);
+  p.ack.reset();
+  EXPECT_FALSE(p.ack);
+  p.ack.emplace().ack_serial = 5;
+  ASSERT_TRUE(p.ack);
+  EXPECT_EQ(p.ack->ack_serial, 5u);
+}
+
+TEST(AckSlot, MoveDisengagesTheSource) {
+  Packet a;
+  a.ack.emplace().cumulative_ack = 3;
+  Packet b = std::move(a);
+  ASSERT_TRUE(b.ack);
+  EXPECT_EQ(b.ack->cumulative_ack, 3u);
+  EXPECT_FALSE(a.ack);  // moved-from packet no longer claims an ack
+}
+
+TEST(AckSlot, CopyKeepsBothEngaged) {
+  Packet a;
+  a.ack.emplace().snack.missing = {4, 5};
+  Packet b = a;
+  ASSERT_TRUE(a.ack);
+  ASSERT_TRUE(b.ack);
+  b.ack->snack.missing.push_back(6);
+  EXPECT_EQ(a.ack->snack.missing.size(), 2u);  // deep copy
+  EXPECT_EQ(b.ack->snack.missing.size(), 3u);
+}
+
+TEST(PacketHeaderSplit, HeaderSliceKeepsHotFieldsOnly) {
+  Packet p;
+  p.seq = 9;
+  p.flow = 2;
+  p.energy_used = 1.5;
+  p.ack.emplace().cumulative_ack = 7;
+  const PacketHeader h = p;  // slice: the header is the cacheable part
+  EXPECT_EQ(h.seq, 9u);
+  EXPECT_EQ(h.flow, 2u);
+  EXPECT_DOUBLE_EQ(h.energy_used, 1.5);
+  Packet rebuilt(h);
+  EXPECT_EQ(rebuilt.seq, 9u);
+  EXPECT_FALSE(rebuilt.ack);  // ack state never survives the header trip
+}
+
 }  // namespace
 }  // namespace jtp::core
 

@@ -4,6 +4,7 @@
 
 #include <vector>
 
+#include "core/packet_pool.h"
 #include "phy/channel.h"
 #include "phy/energy_model.h"
 #include "sim/random.h"
@@ -28,16 +29,25 @@ struct Rig {
     c.loss_good = loss;
     return c;
   }
-  core::Packet data(core::SeqNo seq = 0) {
-    core::Packet p;
-    p.type = core::PacketType::kData;
-    p.flow = 1;
-    p.src = 0;
-    p.dst = 1;
-    p.seq = seq;
+  core::PacketPtr data(core::SeqNo seq = 0) {
+    core::PacketPtr p = pool.make();
+    p->type = core::PacketType::kData;
+    p->flow = 1;
+    p->src = 0;
+    p->dst = 1;
+    p->seq = seq;
+    return p;
+  }
+  core::PacketPtr ack_packet() {
+    core::PacketPtr p = pool.make();
+    p->type = core::PacketType::kAck;
+    p->flow = 1;
+    p->src = 1;
+    p->dst = 0;
     return p;
   }
 
+  core::PacketPool pool;  // before sim: pending events hold handles
   sim::Simulator sim;
   TdmaSchedule schedule;
   phy::Channel channel;
@@ -48,11 +58,11 @@ struct Rig {
 TEST(TdmaMac, DeliversOverLosslessLink) {
   Rig r;
   std::vector<core::Packet> delivered;
-  r.macs[0]->set_deliver([&](core::Packet&& p, core::NodeId from,
+  r.macs[0]->set_deliver([&](core::PacketPtr&& p, core::NodeId from,
                              core::NodeId to) {
     EXPECT_EQ(from, 0u);
     EXPECT_EQ(to, 1u);
-    delivered.push_back(std::move(p));
+    delivered.push_back(std::move(*p));
   });
   r.macs[0]->enqueue(r.data(), 1);
   r.sim.run_until(1.0);
@@ -64,7 +74,7 @@ TEST(TdmaMac, DeliversOverLosslessLink) {
 TEST(TdmaMac, TransmitsOnlyInOwnedSlots) {
   Rig r;
   double tx_time = -1.0;
-  r.macs[0]->set_deliver([&](core::Packet&&, core::NodeId, core::NodeId) {});
+  r.macs[0]->set_deliver([&](core::PacketPtr&&, core::NodeId, core::NodeId) {});
   r.macs[0]->set_pre_xmit([&](core::Packet&, core::NodeId,
                               const core::LinkView&, core::Joules,
                               bool) -> PreXmitDecision {
@@ -83,7 +93,7 @@ TEST(TdmaMac, QueueOverflowDrops) {
   MacConfig mc;
   mc.queue_capacity_packets = 3;
   Rig r(0.0, 2, mc);
-  r.macs[0]->set_deliver([](core::Packet&&, core::NodeId, core::NodeId) {});
+  r.macs[0]->set_deliver([](core::PacketPtr&&, core::NodeId, core::NodeId) {});
   for (core::SeqNo s = 0; s < 5; ++s) r.macs[0]->enqueue(r.data(s), 1);
   EXPECT_EQ(r.macs[0]->queue_drops(), 2u);
   EXPECT_EQ(r.macs[0]->queue_length(), 3u);
@@ -142,7 +152,7 @@ TEST(TdmaMac, EnergyChargedPerAttemptAtSenderAndOnSuccessAtReceiver) {
   });
   r.macs[0]->enqueue(r.data(), 1);
   r.sim.run_until(5.0);
-  const double bits = r.data().size_bits();
+  const double bits = r.data()->size_bits();
   EXPECT_NEAR(r.energy.node_energy(0), 2 * r.energy.tx_energy(bits), 1e-12);
   EXPECT_DOUBLE_EQ(r.energy.node_energy(1), 0.0);  // never decoded
 }
@@ -150,8 +160,8 @@ TEST(TdmaMac, EnergyChargedPerAttemptAtSenderAndOnSuccessAtReceiver) {
 TEST(TdmaMac, FifoOrderPreserved) {
   Rig r;
   std::vector<core::SeqNo> order;
-  r.macs[0]->set_deliver([&](core::Packet&& p, core::NodeId, core::NodeId) {
-    order.push_back(p.seq);
+  r.macs[0]->set_deliver([&](core::PacketPtr&& p, core::NodeId, core::NodeId) {
+    order.push_back(p->seq);
   });
   for (core::SeqNo s = 0; s < 5; ++s) r.macs[0]->enqueue(r.data(s), 1);
   r.sim.run_until(2.0);
@@ -160,7 +170,7 @@ TEST(TdmaMac, FifoOrderPreserved) {
 
 TEST(TdmaMac, LossEstimatorLearnsFromAttempts) {
   Rig r(/*loss=*/0.3, 2);
-  r.macs[0]->set_deliver([](core::Packet&&, core::NodeId, core::NodeId) {});
+  r.macs[0]->set_deliver([](core::PacketPtr&&, core::NodeId, core::NodeId) {});
   // Keep feeding packets; after many, the loss estimate approaches 0.3.
   for (core::SeqNo s = 0; s < 2000; ++s) r.macs[0]->enqueue(r.data(s), 1);
   r.sim.run_until(100.0);
@@ -171,7 +181,7 @@ TEST(TdmaMac, LossEstimatorLearnsFromAttempts) {
 TEST(TdmaMac, AttemptTraceFiresOnFirstAttemptOfData) {
   Rig r;
   std::vector<int> budgets;
-  r.macs[0]->set_deliver([](core::Packet&&, core::NodeId, core::NodeId) {});
+  r.macs[0]->set_deliver([](core::PacketPtr&&, core::NodeId, core::NodeId) {});
   r.macs[0]->set_pre_xmit([](core::Packet&, core::NodeId,
                              const core::LinkView&, core::Joules,
                              bool) -> PreXmitDecision {
@@ -192,7 +202,7 @@ TEST(TdmaMac, CapacityIsOnePacketPerOwnedSlot) {
   Rig r;
   int delivered = 0;
   r.macs[0]->set_deliver(
-      [&](core::Packet&&, core::NodeId, core::NodeId) { ++delivered; });
+      [&](core::PacketPtr&&, core::NodeId, core::NodeId) { ++delivered; });
   for (core::SeqNo s = 0; s < 50; ++s) r.macs[0]->enqueue(r.data(s), 1);
   // 2 nodes, 0.01 s slots => frame 0.02 s => 50 pps share. In 0.5 s the
   // node may send at most 25+1 packets.
@@ -204,7 +214,7 @@ TEST(TdmaMac, CapacityIsOnePacketPerOwnedSlot) {
 TEST(TdmaMac, DistinctSlotsForConsecutivePackets) {
   Rig r;
   std::vector<std::uint64_t> slots;
-  r.macs[0]->set_deliver([](core::Packet&&, core::NodeId, core::NodeId) {});
+  r.macs[0]->set_deliver([](core::PacketPtr&&, core::NodeId, core::NodeId) {});
   r.macs[0]->set_pre_xmit([&](core::Packet&, core::NodeId,
                               const core::LinkView&, core::Joules,
                               bool) -> PreXmitDecision {
@@ -223,17 +233,15 @@ TEST(TdmaMac, AcksJumpAheadOfDataBacklog) {
   // data packets is still transmitted in the node's next owned slot.
   Rig r;
   std::vector<bool> order;  // true = ack
-  r.macs[0]->set_deliver([&](core::Packet&& p, core::NodeId, core::NodeId) {
-    order.push_back(p.is_ack());
+  r.macs[0]->set_deliver([&](core::PacketPtr&& p, core::NodeId, core::NodeId) {
+    order.push_back(p->is_ack());
   });
   for (core::SeqNo s = 0; s < 20; ++s) r.macs[0]->enqueue(r.data(s), 1);
-  core::Packet ack;
-  ack.type = core::PacketType::kAck;
-  ack.flow = 1;
-  ack.src = 0;
-  ack.dst = 1;
-  ack.ack = core::AckHeader{};
-  r.macs[0]->enqueue(ack, 1);
+  core::PacketPtr ack = r.ack_packet();
+  ack->src = 0;
+  ack->dst = 1;
+  ack->ack = core::AckHeader{};
+  r.macs[0]->enqueue(std::move(ack), 1);
   r.sim.run_until(2.0);
   ASSERT_GE(order.size(), 3u);
   // The ACK must appear among the first couple of deliveries, far before
@@ -246,31 +254,29 @@ TEST(TdmaMac, SeparateQueueCapacitiesForControlAndData) {
   MacConfig mc;
   mc.queue_capacity_packets = 2;
   Rig r(0.0, 2, mc);
-  r.macs[0]->set_deliver([](core::Packet&&, core::NodeId, core::NodeId) {});
+  r.macs[0]->set_deliver([](core::PacketPtr&&, core::NodeId, core::NodeId) {});
   // Fill the data queue.
   for (core::SeqNo s = 0; s < 4; ++s) r.macs[0]->enqueue(r.data(s), 1);
   EXPECT_EQ(r.macs[0]->queue_drops(), 2u);
   // ACKs still get in: they have their own queue.
-  core::Packet ack;
-  ack.type = core::PacketType::kAck;
-  ack.flow = 1;
-  ack.ack = core::AckHeader{};
-  EXPECT_TRUE(r.macs[0]->enqueue(ack, 1));
+  core::PacketPtr ack = r.ack_packet();
+  ack->ack = core::AckHeader{};
+  EXPECT_TRUE(r.macs[0]->enqueue(std::move(ack), 1));
 }
 
 TEST(TdmaMac, TwoMacsShareTheMediumFairly) {
   Rig r(0.0, 2);
   int d0 = 0, d1 = 0;
   r.macs[0]->set_deliver(
-      [&](core::Packet&&, core::NodeId, core::NodeId) { ++d0; });
+      [&](core::PacketPtr&&, core::NodeId, core::NodeId) { ++d0; });
   r.macs[1]->set_deliver(
-      [&](core::Packet&&, core::NodeId, core::NodeId) { ++d1; });
+      [&](core::PacketPtr&&, core::NodeId, core::NodeId) { ++d1; });
   for (core::SeqNo s = 0; s < 40; ++s) {
     r.macs[0]->enqueue(r.data(s), 1);
-    core::Packet p = r.data(s);
-    p.src = 1;
-    p.dst = 0;
-    r.macs[1]->enqueue(p, 0);
+    core::PacketPtr p = r.data(s);
+    p->src = 1;
+    p->dst = 0;
+    r.macs[1]->enqueue(std::move(p), 0);
   }
   r.sim.run_until(0.01 * 2 * 45);  // 45 frames
   EXPECT_EQ(d0, 40);

@@ -2,19 +2,23 @@
 // simulator-backed Env.
 #pragma once
 
+#include <utility>
 #include <vector>
 
 #include "core/env.h"
 #include "core/packet.h"
+#include "core/packet_pool.h"
 #include "net/sim_env.h"
 #include "sim/simulator.h"
 
 namespace jtp::testing {
 
-// Records everything an endpoint hands to the stack.
+// Records everything an endpoint hands to the stack. Handles are
+// unwrapped into plain Packet values so tests can inspect them after the
+// pool slot has been recycled.
 class CaptureSink final : public core::PacketSink {
  public:
-  void send(core::Packet p) override { sent.push_back(std::move(p)); }
+  void send(core::PacketPtr p) override { sent.push_back(std::move(*p)); }
 
   std::size_t data_count() const {
     std::size_t n = 0;
@@ -32,10 +36,13 @@ class CaptureSink final : public core::PacketSink {
   std::vector<core::Packet> sent;
 };
 
-// Bundles a simulator and its Env adapter.
+// Bundles a simulator and its Env adapter. The pool is declared first:
+// pending events may hold packet handles that release into it on
+// simulator destruction.
 struct SimHarness {
+  core::PacketPool pool;
   sim::Simulator sim;
-  net::SimEnv env{sim};
+  net::SimEnv env{sim, pool};
   CaptureSink sink;
 };
 

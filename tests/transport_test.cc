@@ -205,5 +205,68 @@ TEST(ProtocolParity, PinnedSeedIsBitStableForEveryProto) {
   }
 }
 
+// --- the extension seam -----------------------------------------------------
+//
+// ROADMAP: "register an experimental protocol variant through the
+// registry to prove the extension seam". The variant below — JTP with
+// constant-rate ("fixed feedback") ACKing — becomes a first-class
+// protocol through exactly one TransportRegistry::add() call: no edits
+// to Network, Node, FlowManager, or any factory code. It delegates to
+// the already-registered kJtp factory and overrides one knob.
+//
+// Registration is process-global, but harmless here: under ctest every
+// TEST runs in its own process (gtest_discover_tests), and within one
+// process the ProtocolParity loops above tolerate the variant — it
+// passes the same parity and bit-stability checks as the builtins
+// (verified under --gtest_shuffle).
+
+class JtpFixedFeedbackFactory final : public net::TransportFactory {
+ public:
+  explicit JtpFixedFeedbackFactory(
+      std::shared_ptr<const net::TransportFactory> base)
+      : base_(std::move(base)) {}
+
+  net::TransportEndpoints make(net::Network& net, core::FlowId flow,
+                               core::NodeId src, core::NodeId dst,
+                               const net::FlowOptions& opt,
+                               const net::PathInfo& path) const override {
+    net::FlowOptions o = opt;
+    o.feedback_mode = core::FeedbackMode::kConstant;
+    o.constant_feedback_rate_pps = 0.5;
+    return base_->make(net, flow, src, dst, o, path);
+  }
+
+ private:
+  std::shared_ptr<const net::TransportFactory> base_;
+};
+
+TEST(ExtensionSeam, VariantRunsViaRegistryRegistrationAlone) {
+  auto& reg = TransportRegistry::instance();
+  if (!reg.registered(Proto::kJtpFf)) {
+    net::TransportInfo info;
+    info.proto = Proto::kJtpFf;
+    info.hop_policy = HopPolicy::kIjtp;  // full in-network help, like jtp
+    info.caching = true;
+    info.factory = std::make_shared<JtpFixedFeedbackFactory>(
+        reg.info(Proto::kJtp).factory);
+    reg.add(std::move(info));
+  }
+  ASSERT_TRUE(reg.registered(Proto::kJtpFf));
+
+  // The variant is now buildable through the exact same entry points as
+  // the builtins — ScenarioSpec -> build() -> Network::add_flow.
+  auto s = exp::build(parity_spec(Proto::kJtpFf));
+  s.network->run_until(1500.0);
+  const auto& flow = *s.flows->flows().front();
+  EXPECT_TRUE(flow.finished());
+  EXPECT_GT(flow.delivered_packets(), 0u);
+
+  // And it really is the variant: an eJTP receiver in constant-feedback
+  // mode, advertising the fixed 2-second period.
+  const auto* rcv = flow.receiver_as<core::EjtpReceiver>();
+  ASSERT_NE(rcv, nullptr);
+  EXPECT_DOUBLE_EQ(rcv->current_feedback_period(), 2.0);
+}
+
 }  // namespace
 }  // namespace jtp
