@@ -80,7 +80,7 @@ inline const char* usage_text() {
       "  --proto NAME      protocol override: jtp, jnc, tcp or atp\n"
       "  --scenario SPEC   comma-separated key=value scenario overrides\n"
       "                    (first token may name a preset: linear, random,\n"
-      "                    mobile, testbed), e.g.\n"
+      "                    mobile, testbed, scale), e.g.\n"
       "                    --scenario 'net_size=12,loss_good=0.1'\n"
       "  --help            show this message\n";
 }

@@ -21,6 +21,8 @@
 #include "exp/scenario.h"
 #include "mac/tdma_schedule.h"
 #include "net/network.h"
+#include "phy/topology.h"
+#include "routing/link_state.h"
 #include "sim/event_queue.h"
 #include "sim/random.h"
 #include "sim/simulator.h"
@@ -186,6 +188,54 @@ void BM_RateControllerUpdate(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_RateControllerUpdate);
+
+// ---------------------------------------------------------------------------
+// Control-plane kernels: neighbor queries and routing refresh at small
+// (paper, n=25) and production (n=400) scales. BM_RoutingRefresh models
+// the steady-state control-plane work of a mobile scenario: one node
+// moves, the view refreshes, and the handful of sources with live flows
+// look up their next hops.
+// ---------------------------------------------------------------------------
+
+phy::Topology scale_field(std::size_t n, sim::Rng& rng) {
+  auto prng = rng.derive("placement");
+  return phy::Topology::random_connected(
+      n, exp::random_field_side_m(n), exp::kRangeM, prng);
+}
+
+void BM_NeighborQuery(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  sim::Rng rng(7);
+  auto topo = scale_field(n, rng);
+  core::NodeId id = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(topo.neighbors(id).size());
+    id = static_cast<core::NodeId>((id + 1) % n);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NeighborQuery)->Arg(25)->Arg(400);
+
+void BM_RoutingRefresh(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  sim::Rng rng(7);
+  auto topo = scale_field(n, rng);
+  sim::Simulator sim;
+  routing::LinkStateRouting r(sim, topo);
+  auto mrng = rng.derive("moves");
+  core::NodeId mover = 1;
+  for (auto _ : state) {
+    const auto p = topo.position(mover);
+    topo.set_position(mover, {p.x + mrng.uniform(-1.0, 1.0),
+                              p.y + mrng.uniform(-1.0, 1.0)});
+    mover = static_cast<core::NodeId>(1 + (mover % (n - 1)));
+    r.refresh();
+    for (core::NodeId s = 1; s <= 8 && s < n; ++s)
+      benchmark::DoNotOptimize(r.next_hop(s, 0));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RoutingRefresh)->Arg(25)->Arg(400)->Unit(benchmark::kMicrosecond);
 
 void BM_TdmaNextOwnedSlot(benchmark::State& state) {
   mac::TdmaSchedule s(static_cast<std::size_t>(state.range(0)), 0.035, 7);

@@ -38,17 +38,24 @@ enum class WorkloadKind : std::uint8_t {
                  // direction, starts staggered by stagger_s
   kRandomPairs,  // n_flows between random distinct endpoints
   kPoisson,      // per-node Poisson arrivals of fixed-size transfers
+  kOnOff,        // n_flows bursty sources: each holds one random pair and
+                 // fires `transfer`-packet bursts at exponential gaps
+                 // (mean burst_gap) within the arrival window
+  kFanIn,        // many-flow convergence: `fan_in` distinct random
+                 // senders all target node 0 (starts staggered)
 };
 std::string workload_name(WorkloadKind k);
 
 struct WorkloadSpec {
   WorkloadKind kind = WorkloadKind::kManual;
   std::size_t n_flows = 1;
-  std::uint64_t transfer_packets = 0;  // 0 = long-lived
+  std::uint64_t transfer_packets = 0;  // 0 = long-lived; kOnOff burst size
   double start_delay_s = 0.0;          // first start (kEnds/kRandomPairs)
-  double stagger_s = 0.0;              // extra delay per flow (kEnds)
+  double stagger_s = 0.0;              // extra delay per flow (kEnds/kFanIn)
   double mean_interarrival_s = 400.0;  // kPoisson, per node
-  double arrival_window_s = 1700.0;    // kPoisson: arrivals in [0, window)
+  double arrival_window_s = 1700.0;    // kPoisson/kOnOff: starts in window
+  double mean_burst_gap_s = 60.0;      // kOnOff: mean gap between bursts
+  std::size_t fan_in = 4;              // kFanIn: senders per sink
   double loss_tolerance = 0.0;         // applied to every created flow
 };
 
@@ -87,8 +94,10 @@ inline bool operator!=(const ScenarioSpec& a, const ScenarioSpec& b) {
   return !(a == b);
 }
 
-// The four paper presets ("linear", "random", "mobile", "testbed").
-// Throws std::invalid_argument on an unknown name.
+// The four paper presets ("linear", "random", "mobile", "testbed") plus
+// the production-scale tier ("scale": large random fields, many-flow
+// fan-in; meant to be swept over net_size 100/400/1000 — see
+// bench/scale_sweep.cc). Throws std::invalid_argument on an unknown name.
 ScenarioSpec preset(const std::string& name);
 std::vector<std::string> preset_names();
 
@@ -102,7 +111,8 @@ std::vector<std::string> preset_names();
 // Keys mirror the struct fields (topology, net_size, grid_cols, speed,
 // fading, loss_good, loss_bad, bad_fraction, proto, cache_size,
 // queue_capacity, slot_duration, routing_refresh, seed, workload, flows,
-// transfer, start, stagger, interarrival, window, loss_tolerance).
+// transfer, start, stagger, interarrival, window, burst_gap, fan_in,
+// loss_tolerance).
 
 // Applies tokens onto `spec` in order. Returns "" on success or a
 // human-readable error (unknown key, malformed value, out-of-range);

@@ -91,8 +91,9 @@ void Network::run_until(double t) {
     if (mobility_) {
       mobility_->start();
       // Keep routes reasonably fresh under motion: the periodic link-state
-      // refresh handles it; no per-move recompute (that would be an
-      // oracle, and the staleness is part of what Fig. 11 measures).
+      // refresh picks up the topology's generation counter; no per-move
+      // recompute (that would be an oracle, and the staleness is part of
+      // what Fig. 11 measures).
     }
   }
   sim_.run_until(t);

@@ -51,7 +51,6 @@ void RandomWaypoint::step(core::NodeId id) {
   if (remaining <= hop) {
     topo_.set_position(id, st.target);
     st.moving = false;
-    if (on_move_) on_move_();
     const double pause = st.rng.exponential(cfg_.mean_pause_s);
     sim_.schedule(pause, [this, id] { begin_leg(id); });
     return;
@@ -59,7 +58,6 @@ void RandomWaypoint::step(core::NodeId id) {
   const double fx = (st.target.x - cur.x) / remaining;
   const double fy = (st.target.y - cur.y) / remaining;
   topo_.set_position(id, {cur.x + fx * hop, cur.y + fy * hop});
-  if (on_move_) on_move_();
   sim_.schedule(cfg_.update_interval_s, [this, id] { step(id); });
 }
 

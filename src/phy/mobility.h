@@ -4,9 +4,12 @@
 // (mean 47 m) at its configured speed, then pauses (mean 100 s). Movement
 // is discretized: positions are updated every `update_interval_s` so the
 // routing layer sees smooth topology change. Legs are clipped to the field.
+//
+// There is no movement callback: every position update bumps the
+// topology's generation counter, and consumers that care (the routing
+// view, tests) observe that instead of being pushed a notification.
 #pragma once
 
-#include <functional>
 #include <vector>
 
 #include "phy/topology.h"
@@ -31,9 +34,6 @@ class RandomWaypoint {
   // Begins moving every node; callbacks fire forever (until sim horizon).
   void start();
 
-  // Invoked after every batch of position updates (e.g. to refresh routes).
-  void set_on_move(std::function<void()> cb) { on_move_ = std::move(cb); }
-
   const MobilityConfig& config() const { return cfg_; }
 
  private:
@@ -49,7 +49,6 @@ class RandomWaypoint {
   Topology& topo_;
   MobilityConfig cfg_;
   std::vector<NodeState> nodes_;
-  std::function<void()> on_move_;
 };
 
 }  // namespace jtp::phy

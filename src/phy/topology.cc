@@ -1,7 +1,7 @@
 #include "phy/topology.h"
 
+#include <algorithm>
 #include <cmath>
-#include <queue>
 #include <stdexcept>
 
 #include "sim/random.h"
@@ -15,9 +15,45 @@ double distance(const Position& a, const Position& b) {
 }
 
 Topology::Topology(std::size_t n_nodes, double radio_range_m)
-    : pos_(n_nodes), range_(radio_range_m) {
+    : pos_(n_nodes), range_(radio_range_m), cell_key_(n_nodes) {
   if (n_nodes == 0) throw std::invalid_argument("Topology: no nodes");
   if (radio_range_m <= 0) throw std::invalid_argument("Topology: bad range");
+  const CellKey origin = cell_of(Position{});
+  auto& cell = cells_[origin];
+  cell.reserve(n_nodes);
+  for (core::NodeId id = 0; id < n_nodes; ++id) {
+    cell.push_back(id);
+    cell_key_[id] = origin;
+  }
+}
+
+Topology::CellKey Topology::pack_cell(std::int64_t cx, std::int64_t cy) {
+  // The 32-bit wrap of the packed halves would only collide for positions
+  // 2^32 cells apart.
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(cx)) << 32) |
+         static_cast<std::uint64_t>(static_cast<std::uint32_t>(cy));
+}
+
+Topology::CellKey Topology::cell_of(const Position& p) const {
+  // floor() keeps negative coordinates in distinct cells.
+  return pack_cell(static_cast<std::int64_t>(std::floor(p.x / range_)),
+                   static_cast<std::int64_t>(std::floor(p.y / range_)));
+}
+
+void Topology::set_position(core::NodeId id, Position p) {
+  pos_.at(id) = p;
+  ++generation_;
+  const CellKey to = cell_of(p);
+  const CellKey from = cell_key_[id];
+  if (to == from) return;
+  auto& old_cell = cells_[from];
+  // Swap-pop: cell vectors are unordered (queries sort their results).
+  const auto it = std::find(old_cell.begin(), old_cell.end(), id);
+  *it = old_cell.back();
+  old_cell.pop_back();
+  if (old_cell.empty()) cells_.erase(from);
+  cells_[to].push_back(id);
+  cell_key_[id] = to;
 }
 
 bool Topology::in_range(core::NodeId a, core::NodeId b) const {
@@ -25,27 +61,45 @@ bool Topology::in_range(core::NodeId a, core::NodeId b) const {
   return distance(pos_.at(a), pos_.at(b)) <= range_;
 }
 
+void Topology::neighbors_into(core::NodeId id,
+                              std::vector<core::NodeId>& out) const {
+  out.clear();
+  const Position& p = pos_.at(id);
+  const auto cx = static_cast<std::int64_t>(std::floor(p.x / range_));
+  const auto cy = static_cast<std::int64_t>(std::floor(p.y / range_));
+  for (std::int64_t dx = -1; dx <= 1; ++dx) {
+    for (std::int64_t dy = -1; dy <= 1; ++dy) {
+      const auto it = cells_.find(pack_cell(cx + dx, cy + dy));
+      if (it == cells_.end()) continue;
+      for (const core::NodeId j : it->second)
+        if (j != id && distance(p, pos_[j]) <= range_) out.push_back(j);
+    }
+  }
+  std::sort(out.begin(), out.end());
+}
+
 std::vector<core::NodeId> Topology::neighbors(core::NodeId id) const {
   std::vector<core::NodeId> out;
-  for (core::NodeId j = 0; j < pos_.size(); ++j)
-    if (in_range(id, j)) out.push_back(j);
+  neighbors_into(id, out);
   return out;
 }
 
 bool Topology::connected() const {
   std::vector<bool> seen(pos_.size(), false);
-  std::queue<core::NodeId> q;
-  q.push(0);
+  std::vector<core::NodeId> queue;
+  std::vector<core::NodeId> nbrs;
+  queue.reserve(pos_.size());
+  queue.push_back(0);
   seen[0] = true;
   std::size_t visited = 1;
-  while (!q.empty()) {
-    const core::NodeId u = q.front();
-    q.pop();
-    for (core::NodeId v : neighbors(u)) {
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const core::NodeId u = queue[head];
+    neighbors_into(u, nbrs);
+    for (core::NodeId v : nbrs) {
       if (!seen[v]) {
         seen[v] = true;
         ++visited;
-        q.push(v);
+        queue.push_back(v);
       }
     }
   }
@@ -61,7 +115,7 @@ Topology Topology::linear(std::size_t n, double spacing_m, double range_m) {
         "Topology::linear: range covers two hops; chain would short-cut");
   Topology t(n, range_m);
   for (std::size_t i = 0; i < n; ++i)
-    t.pos_[i] = {static_cast<double>(i) * spacing_m, 0.0};
+    t.set_position(i, {static_cast<double>(i) * spacing_m, 0.0});
   return t;
 }
 
@@ -71,7 +125,7 @@ Topology Topology::random_connected(std::size_t n, double field_m,
   for (int attempt = 0; attempt < max_tries; ++attempt) {
     Topology t(n, range_m);
     for (std::size_t i = 0; i < n; ++i)
-      t.pos_[i] = {rng.uniform(0.0, field_m), rng.uniform(0.0, field_m)};
+      t.set_position(i, {rng.uniform(0.0, field_m), rng.uniform(0.0, field_m)});
     if (t.connected()) return t;
   }
   throw std::runtime_error(

@@ -1,7 +1,6 @@
 #include "routing/link_state.h"
 
 #include <limits>
-#include <queue>
 #include <stdexcept>
 
 namespace jtp::routing {
@@ -13,10 +12,19 @@ constexpr int kUnreachable = std::numeric_limits<int>::max();
 LinkStateRouting::LinkStateRouting(sim::Simulator& sim,
                                    const phy::Topology& topo,
                                    RoutingConfig cfg)
-    : sim_(sim), topo_(topo), cfg_(cfg) {
+    : sim_(sim),
+      topo_(topo),
+      cfg_(cfg),
+      snapshot_(topo),
+      snapshot_gen_(topo.generation()) {
   if (cfg.refresh_interval_s <= 0)
     throw std::invalid_argument("LinkStateRouting: bad refresh interval");
-  recompute();
+  const std::size_t n = topo_.size();
+  dist_.assign(n * n, kUnreachable);
+  next_.assign(n * n, core::kInvalidNode);
+  row_epoch_.assign(n, 0);  // epoch_ starts at 1: no row is valid yet
+  stats_.refreshes = 1;     // construction takes the first view
+  stats_.snapshots = 1;
 }
 
 void LinkStateRouting::start() {
@@ -33,51 +41,69 @@ void LinkStateRouting::start() {
   sim_.schedule(cfg_.refresh_interval_s, Rearm{this, cfg_.refresh_interval_s});
 }
 
-void LinkStateRouting::refresh() { recompute(); }
+void LinkStateRouting::refresh() {
+  ++stats_.refreshes;
+  sync_view();
+}
 
-void LinkStateRouting::recompute() {
-  const std::size_t n = topo_.size();
-  dist_.assign(n, std::vector<int>(n, kUnreachable));
-  next_.assign(n, std::vector<core::NodeId>(n, core::kInvalidNode));
-  // BFS from every source over the unit-cost range graph.
-  for (core::NodeId s = 0; s < n; ++s) {
-    auto& dist = dist_[s];
-    auto& next = next_[s];
-    dist[s] = 0;
-    std::queue<core::NodeId> q;
-    q.push(s);
-    std::vector<core::NodeId> parent(n, core::kInvalidNode);
-    while (!q.empty()) {
-      const core::NodeId u = q.front();
-      q.pop();
-      for (core::NodeId v : topo_.neighbors(u)) {
-        if (dist[v] != kUnreachable) continue;
-        dist[v] = dist[u] + 1;
-        parent[v] = u;
-        q.push(v);
-      }
-    }
-    // First hop toward each destination: walk parents back to s.
-    for (core::NodeId d = 0; d < n; ++d) {
-      if (d == s || dist[d] == kUnreachable) continue;
-      core::NodeId hop = d;
-      while (parent[hop] != s) hop = parent[hop];
-      next[d] = hop;
-    }
-  }
-  ++refreshes_;
+void LinkStateRouting::sync_view() const {
+  if (topo_.generation() == snapshot_gen_) return;  // view already current
+  snapshot_ = topo_;
+  snapshot_gen_ = topo_.generation();
+  ++epoch_;  // invalidates every row without touching them
+  ++stats_.snapshots;
 }
 
 void LinkStateRouting::maybe_oracle_refresh() const {
-  if (cfg_.oracle) const_cast<LinkStateRouting*>(this)->recompute();
+  if (!cfg_.oracle) return;
+  if (topo_.generation() == snapshot_gen_) {
+    ++stats_.oracle_skips;  // unchanged topology: nothing to recompute
+    return;
+  }
+  ++stats_.refreshes;
+  sync_view();
+}
+
+void LinkStateRouting::ensure_row(core::NodeId s) const {
+  if (row_epoch_[s] == epoch_) {
+    ++stats_.row_reuses;
+    return;
+  }
+  const std::size_t n = snapshot_.size();
+  int* dist = dist_.data() + static_cast<std::size_t>(s) * n;
+  core::NodeId* next = next_.data() + static_cast<std::size_t>(s) * n;
+  for (std::size_t d = 0; d < n; ++d) {
+    dist[d] = kUnreachable;
+    next[d] = core::kInvalidNode;
+  }
+  // BFS over the snapshot's unit-cost range graph, carrying the first hop
+  // forward: next[v] inherits next[u] (or v itself when u is the source),
+  // which walks out to the same first hop the old parent-chain walk found.
+  dist[s] = 0;
+  bfs_queue_.clear();
+  bfs_queue_.push_back(s);
+  for (std::size_t head = 0; head < bfs_queue_.size(); ++head) {
+    const core::NodeId u = bfs_queue_[head];
+    snapshot_.neighbors_into(u, bfs_nbrs_);
+    for (core::NodeId v : bfs_nbrs_) {
+      if (dist[v] != kUnreachable) continue;
+      dist[v] = dist[u] + 1;
+      next[v] = (u == s) ? v : next[u];
+      bfs_queue_.push_back(v);
+    }
+  }
+  row_epoch_[s] = epoch_;
+  ++stats_.rows_built;
 }
 
 std::optional<core::NodeId> LinkStateRouting::next_hop(core::NodeId at,
                                                        core::NodeId dst) const {
   maybe_oracle_refresh();
-  if (at >= next_.size() || dst >= next_.size()) return std::nullopt;
+  const std::size_t n = topo_.size();
+  if (at >= n || dst >= n) return std::nullopt;
   if (at == dst) return std::nullopt;
-  const core::NodeId h = next_[at][dst];
+  ensure_row(at);
+  const core::NodeId h = next_[static_cast<std::size_t>(at) * n + dst];
   if (h == core::kInvalidNode) return std::nullopt;
   return h;
 }
@@ -85,8 +111,10 @@ std::optional<core::NodeId> LinkStateRouting::next_hop(core::NodeId at,
 std::optional<int> LinkStateRouting::hops(core::NodeId at,
                                           core::NodeId dst) const {
   maybe_oracle_refresh();
-  if (at >= dist_.size() || dst >= dist_.size()) return std::nullopt;
-  const int d = dist_[at][dst];
+  const std::size_t n = topo_.size();
+  if (at >= n || dst >= n) return std::nullopt;
+  ensure_row(at);
+  const int d = dist_[static_cast<std::size_t>(at) * n + dst];
   if (d == kUnreachable) return std::nullopt;
   return d;
 }
@@ -94,15 +122,17 @@ std::optional<int> LinkStateRouting::hops(core::NodeId at,
 std::optional<std::vector<core::NodeId>> LinkStateRouting::path(
     core::NodeId src, core::NodeId dst) const {
   maybe_oracle_refresh();
-  if (src >= next_.size() || dst >= next_.size()) return std::nullopt;
+  const std::size_t n = topo_.size();
+  if (src >= n || dst >= n) return std::nullopt;
   std::vector<core::NodeId> p{src};
   core::NodeId cur = src;
   while (cur != dst) {
-    const core::NodeId h = next_[cur][dst];
+    ensure_row(cur);
+    const core::NodeId h = next_[static_cast<std::size_t>(cur) * n + dst];
     if (h == core::kInvalidNode) return std::nullopt;
     p.push_back(h);
     cur = h;
-    if (p.size() > next_.size()) return std::nullopt;  // defensive: loop
+    if (p.size() > n) return std::nullopt;  // defensive: loop
   }
   return p;
 }

@@ -14,6 +14,16 @@
 // flood's own traffic is excluded from energy accounting, consistent with
 // the paper's metric ("we will not consider the energy consumed for
 // network maintenance by the lower layers").
+//
+// Scale model: a refresh is an O(n) position snapshot, not an all-pairs
+// recompute. Shortest-path rows are flat, contiguous and per-source, built
+// lazily the first time a source is queried against the current snapshot
+// and kept until the snapshot actually changes (tracked by the topology's
+// generation counter). A static 1000-node field therefore pays BFS only
+// for sources that carry flows, and pays it once — refreshes and oracle
+// queries on an unchanged topology are no-ops. RoutingStats is the
+// observable contract for that claim, mirroring sim::PoolStats for the
+// data-plane pools.
 #pragma once
 
 #include <cstdint>
@@ -28,7 +38,21 @@ namespace jtp::routing {
 
 struct RoutingConfig {
   double refresh_interval_s = 5.0;  // staleness bound of the view
-  bool oracle = false;              // true => refresh before every query
+  bool oracle = false;              // true => view synced before every query
+};
+
+// Control-plane work accounting. In steady state on a static topology,
+// `snapshots` and `rows_built` stop moving while `row_reuses` keeps
+// counting — a growing `rows_built` under an unchanged topology means
+// some path recomputes needlessly (the pre-PR5 oracle bug).
+struct RoutingStats {
+  std::uint64_t refreshes = 0;     // view syncs (periodic + forced + ctor)
+  std::uint64_t snapshots = 0;     // syncs that saw a new topology generation
+                                   // and re-copied the position snapshot
+  std::uint64_t rows_built = 0;    // per-source BFS row computations
+  std::uint64_t row_reuses = 0;    // queries served from an existing row
+  std::uint64_t oracle_skips = 0;  // oracle syncs skipped: generation
+                                   // unchanged since the current snapshot
 };
 
 class LinkStateRouting {
@@ -39,7 +63,8 @@ class LinkStateRouting {
   // Starts periodic snapshot refreshes.
   void start();
 
-  // Forces an immediate snapshot (tests, oracle mode, mobility hooks).
+  // Syncs the view to the live topology (tests, oracle mode, mobility
+  // hooks). Cheap when the topology generation has not changed.
   void refresh();
 
   // Next hop from `at` toward `dst` per `at`'s current view.
@@ -54,21 +79,39 @@ class LinkStateRouting {
   std::optional<std::vector<core::NodeId>> path(core::NodeId src,
                                                 core::NodeId dst) const;
 
-  std::uint64_t refreshes() const { return refreshes_; }
+  const RoutingStats& stats() const { return stats_; }
+  std::uint64_t refreshes() const { return stats_.refreshes; }
   const RoutingConfig& config() const { return cfg_; }
 
  private:
   void maybe_oracle_refresh() const;
-  void recompute();
+  void sync_view() const;
+  // Builds the dist/next row for source `s` against the snapshot if it is
+  // not already valid for the current view epoch.
+  void ensure_row(core::NodeId s) const;
 
   sim::Simulator& sim_;
   const phy::Topology& topo_;
   RoutingConfig cfg_;
 
-  // dist_[u][v] = hop count, next_[u][v] = first hop on a shortest path.
-  std::vector<std::vector<int>> dist_;
-  std::vector<std::vector<core::NodeId>> next_;
-  std::uint64_t refreshes_ = 0;
+  // The view: a copy of the topology as of the last refresh that observed
+  // a change. Queries never touch the live topology, so lazy row builds
+  // see exactly what an eager refresh-time recompute would have seen.
+  mutable phy::Topology snapshot_;
+  mutable std::uint64_t snapshot_gen_;
+
+  // Flat n*n rows: dist_[s*n + d] = hop count, next_[s*n + d] = first hop
+  // on a shortest path. A row is valid iff row_epoch_[s] == epoch_.
+  mutable std::vector<int> dist_;
+  mutable std::vector<core::NodeId> next_;
+  mutable std::vector<std::uint64_t> row_epoch_;
+  mutable std::uint64_t epoch_ = 1;
+
+  // BFS scratch (reused across row builds; no steady-state allocation).
+  mutable std::vector<core::NodeId> bfs_queue_;
+  mutable std::vector<core::NodeId> bfs_nbrs_;
+
+  mutable RoutingStats stats_;
   bool started_ = false;
 };
 

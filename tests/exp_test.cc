@@ -4,8 +4,10 @@
 #include <atomic>
 #include <cstdio>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
 
 #include "exp/runner.h"
 #include "exp/scenario.h"
@@ -111,6 +113,73 @@ TEST(Scenario, JncDisablesCaching) {
   EXPECT_TRUE(make_network_config(sc).node.ijtp.caching_enabled);
 }
 
+TEST(Scenario, FanInWorkloadConvergesOnSink) {
+  auto sc = quiet(8);
+  sc.workload.kind = WorkloadKind::kFanIn;
+  sc.workload.fan_in = 3;
+  sc.workload.start_delay_s = 5.0;
+  sc.workload.stagger_s = 2.0;
+  auto s = build(sc);
+  ASSERT_EQ(s.flows->flows().size(), 3u);
+  std::vector<bool> seen(8, false);
+  for (std::size_t i = 0; i < 3; ++i) {
+    const auto& f = *s.flows->flows()[i];
+    EXPECT_EQ(f.dst, 0u);
+    EXPECT_NE(f.src, 0u);
+    EXPECT_FALSE(seen[f.src]) << "duplicate sender " << f.src;
+    seen[f.src] = true;
+    EXPECT_DOUBLE_EQ(f.start_time, 5.0 + 2.0 * static_cast<double>(i));
+  }
+}
+
+TEST(Scenario, FanInRejectsMoreSendersThanNodes) {
+  auto sc = quiet(4);
+  sc.workload.kind = WorkloadKind::kFanIn;
+  sc.workload.fan_in = 4;  // only 3 non-sink nodes exist
+  EXPECT_THROW(build(sc), std::invalid_argument);
+}
+
+TEST(Scenario, OnOffWorkloadFiresBoundedBursts) {
+  auto sc = quiet(5);
+  sc.workload.kind = WorkloadKind::kOnOff;
+  sc.workload.n_flows = 2;
+  sc.workload.transfer_packets = 10;
+  sc.workload.mean_burst_gap_s = 20.0;
+  sc.workload.arrival_window_s = 200.0;
+  sc.workload.start_delay_s = 1.0;
+  auto s = build(sc);
+  ASSERT_FALSE(s.flows->flows().empty());
+  // Every burst is a bounded transfer on one of the two source pairs,
+  // starting inside the window.
+  std::set<std::pair<core::NodeId, core::NodeId>> pairs;
+  for (const auto& f : s.flows->flows()) {
+    EXPECT_EQ(f->total_packets, 10u);
+    EXPECT_NE(f->src, f->dst);
+    EXPECT_GE(f->start_time, 1.0);
+    EXPECT_LT(f->start_time, 201.0);
+    pairs.insert({f->src, f->dst});
+  }
+  EXPECT_LE(pairs.size(), 2u);
+}
+
+TEST(Scenario, OnOffRequiresBurstSize) {
+  auto sc = quiet(5);
+  sc.workload.kind = WorkloadKind::kOnOff;
+  sc.workload.transfer_packets = 0;
+  EXPECT_THROW(build(sc), std::invalid_argument);
+}
+
+TEST(Scenario, ScalePresetFansIntoNodeZero) {
+  auto sc = preset("scale");
+  sc.net_size = 30;  // keep the test light; the preset defaults to 100
+  sc.fading = false;
+  sc.loss_good = 0.0;
+  auto s = build(sc);
+  EXPECT_TRUE(s.network->topology().connected());
+  ASSERT_EQ(s.flows->flows().size(), 8u);
+  for (const auto& f : s.flows->flows()) EXPECT_EQ(f->dst, 0u);
+}
+
 TEST(Scenario, BuildRejectsTinyNetwork) {
   auto sc = quiet();
   sc.net_size = 1;
@@ -160,6 +229,8 @@ TEST(ScenarioSpecParse, EveryKeyRoundTrips) {
   s.workload.stagger_s = 0.5;
   s.workload.mean_interarrival_s = 123.5;
   s.workload.arrival_window_s = 456.25;
+  s.workload.mean_burst_gap_s = 30.5;
+  s.workload.fan_in = 6;
   s.workload.loss_tolerance = 0.125;
   const auto r = parse_scenario(to_string(s));
   ASSERT_TRUE(r.ok()) << r.error;
@@ -183,6 +254,8 @@ TEST(ScenarioSpecParse, RejectsMalformedInput) {
   EXPECT_FALSE(parse_scenario("proto=quic").ok());
   EXPECT_FALSE(parse_scenario("topology=torus").ok());
   EXPECT_FALSE(parse_scenario("workload=ddos").ok());
+  EXPECT_FALSE(parse_scenario("burst_gap=0").ok());    // must be positive
+  EXPECT_FALSE(parse_scenario("fan_in=0").ok());
   EXPECT_FALSE(parse_scenario("fading=maybe").ok());
   EXPECT_FALSE(parse_scenario("speed=").ok());           // empty value
   EXPECT_FALSE(parse_scenario("=3").ok());               // empty key

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <functional>
+
 #include "sim/random.h"
 #include "sim/simulator.h"
 
@@ -25,13 +28,30 @@ Topology square(std::size_t n) {
   return t;
 }
 
+// There is no movement callback any more (positions announce themselves
+// via Topology::generation); tests observe motion by sampling at 4x the
+// update rate, so at most one step of any node lands between samples.
+void sample_every(sim::Simulator& sim, double period,
+                  std::function<void()> probe) {
+  struct Rearm {
+    sim::Simulator* sim;
+    double period;
+    std::function<void()> probe;
+    void operator()() const {
+      probe();
+      sim->schedule(period, Rearm{sim, period, probe});
+    }
+  };
+  sim.schedule(period, Rearm{&sim, period, std::move(probe)});
+}
+
 TEST(RandomWaypoint, NodesStayInField) {
   sim::Simulator sim;
   auto topo = square(5);
   RandomWaypoint rwp(sim, topo, cfg(5.0), sim::Rng(1));
   rwp.start();
   bool ok = true;
-  rwp.set_on_move([&] {
+  sample_every(sim, 0.25, [&] {
     for (core::NodeId i = 0; i < topo.size(); ++i) {
       const auto& p = topo.position(i);
       if (p.x < 0 || p.x > 200.0 || p.y < 0 || p.y > 200.0) ok = false;
@@ -52,6 +72,18 @@ TEST(RandomWaypoint, NodesActuallyMove) {
   EXPECT_GT(distance(before, after), 0.0);
 }
 
+TEST(RandomWaypoint, MovementBumpsTopologyGeneration) {
+  sim::Simulator sim;
+  auto topo = square(3);
+  const auto gen_before = topo.generation();
+  RandomWaypoint rwp(sim, topo, cfg(1.0), sim::Rng(2));
+  rwp.start();
+  sim.run_until(300.0);
+  // Every discretized position update is visible to generation-based
+  // consumers (the routing view) without any callback plumbing.
+  EXPECT_GT(topo.generation(), gen_before);
+}
+
 TEST(RandomWaypoint, SpeedBoundsDisplacementPerUpdate) {
   sim::Simulator sim;
   auto topo = square(2);
@@ -59,7 +91,7 @@ TEST(RandomWaypoint, SpeedBoundsDisplacementPerUpdate) {
   RandomWaypoint rwp(sim, topo, c, sim::Rng(3));
   Position last = topo.position(0);
   double max_step = 0.0;
-  rwp.set_on_move([&] {
+  sample_every(sim, c.update_interval_s / 4.0, [&] {
     const auto cur = topo.position(0);
     max_step = std::max(max_step, distance(last, cur));
     last = cur;
@@ -77,7 +109,7 @@ TEST(RandomWaypoint, FasterNodesTravelFarther) {
     RandomWaypoint rwp(sim, topo, cfg(speed), sim::Rng(4));
     double total = 0.0;
     Position last = topo.position(0);
-    rwp.set_on_move([&] {
+    sample_every(sim, 0.25, [&] {
       total += distance(last, topo.position(0));
       last = topo.position(0);
     });

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "phy/topology.h"
+#include "sim/random.h"
 #include "sim/simulator.h"
 
 namespace jtp::routing {
@@ -115,6 +116,106 @@ TEST(LinkStateRouting, RejectsBadRefresh) {
   RoutingConfig cfg;
   cfg.refresh_interval_s = 0.0;
   EXPECT_THROW(LinkStateRouting(sim, topo, cfg), std::invalid_argument);
+}
+
+// --- lazy/incremental equivalence ------------------------------------------
+
+phy::Topology random_field(std::size_t n, double side, sim::Rng& rng) {
+  phy::Topology t(n, 40.0);
+  for (core::NodeId i = 0; i < n; ++i)
+    t.set_position(i, {rng.uniform(0.0, side), rng.uniform(0.0, side)});
+  return t;
+}
+
+// The oracle: a freshly constructed router answers every query from an
+// up-to-date view, with rows built in plain query order. The lazy router
+// must agree on next_hop/hops/path for every pair, no matter which rows
+// its past interleavings already materialized.
+void expect_matches_fresh(const LinkStateRouting& r,
+                          const phy::Topology& topo, const char* context) {
+  sim::Simulator fresh_sim;
+  LinkStateRouting fresh(fresh_sim, topo);
+  const auto n = topo.size();
+  for (core::NodeId s = 0; s < n; ++s) {
+    for (core::NodeId d = 0; d < n; ++d) {
+      EXPECT_EQ(r.next_hop(s, d), fresh.next_hop(s, d))
+          << context << ": next_hop(" << s << "," << d << ")";
+      EXPECT_EQ(r.hops(s, d), fresh.hops(s, d))
+          << context << ": hops(" << s << "," << d << ")";
+      EXPECT_EQ(r.path(s, d), fresh.path(s, d))
+          << context << ": path(" << s << "," << d << ")";
+    }
+  }
+}
+
+TEST(LinkStateRouting, LazyRowsMatchFullRecomputeAcrossChurn) {
+  sim::Rng rng(11);
+  sim::Simulator sim;
+  auto topo = random_field(30, 180.0, rng);
+  LinkStateRouting r(sim, topo);
+  expect_matches_fresh(r, topo, "initial");
+  for (int round = 0; round < 20; ++round) {
+    // Churn: move a few nodes, interleaved with queries that partially
+    // materialize rows against the *stale* view (they must not leak into
+    // the post-refresh answers).
+    for (int m = 0; m < 3; ++m) {
+      const auto id = static_cast<core::NodeId>(rng.integer(topo.size()));
+      topo.set_position(id, {rng.uniform(0.0, 180.0),
+                             rng.uniform(0.0, 180.0)});
+      (void)r.next_hop(static_cast<core::NodeId>(rng.integer(topo.size())),
+                       static_cast<core::NodeId>(rng.integer(topo.size())));
+      (void)r.path(static_cast<core::NodeId>(rng.integer(topo.size())),
+                   static_cast<core::NodeId>(rng.integer(topo.size())));
+    }
+    r.refresh();
+    expect_matches_fresh(r, topo, "after refresh");
+  }
+}
+
+TEST(LinkStateRouting, RowsBuildOnlyForQueriedSources) {
+  sim::Simulator sim;
+  auto topo = phy::Topology::linear(50, 30.0, 40.0);
+  LinkStateRouting r(sim, topo);
+  EXPECT_EQ(r.stats().rows_built, 0u);  // construction computes nothing
+  (void)r.next_hop(0, 49);
+  (void)r.hops(0, 49);
+  EXPECT_EQ(r.stats().rows_built, 1u);
+  EXPECT_EQ(r.stats().row_reuses, 1u);
+  (void)r.next_hop(7, 3);
+  EXPECT_EQ(r.stats().rows_built, 2u);
+  // Refresh on an unchanged topology must keep every row.
+  r.refresh();
+  r.refresh();
+  (void)r.next_hop(0, 49);
+  (void)r.next_hop(7, 3);
+  EXPECT_EQ(r.stats().rows_built, 2u);
+  EXPECT_EQ(r.stats().snapshots, 1u);
+  // A position write invalidates: the next refresh re-snapshots and the
+  // next query rebuilds only its own row.
+  topo.set_position(10, {10.0 * 30.0, 1.0});
+  r.refresh();
+  EXPECT_EQ(r.stats().snapshots, 2u);
+  (void)r.next_hop(0, 49);
+  EXPECT_EQ(r.stats().rows_built, 3u);
+}
+
+TEST(LinkStateRouting, OracleUnchangedTopologyNeverRecomputes) {
+  // The standing perf bug this PR retires: oracle mode used to do a full
+  // all-pairs recompute on *every* query. Now an unchanged topology is a
+  // counter bump.
+  sim::Simulator sim;
+  auto topo = phy::Topology::linear(10, 30.0, 40.0);
+  RoutingConfig cfg;
+  cfg.oracle = true;
+  LinkStateRouting r(sim, topo, cfg);
+  for (int i = 0; i < 100; ++i) (void)r.next_hop(0, 9);
+  EXPECT_EQ(r.stats().snapshots, 1u);   // construction only
+  EXPECT_EQ(r.stats().rows_built, 1u);  // one row, once
+  EXPECT_EQ(r.stats().oracle_skips, 100u);
+  // A real change still shows up immediately (oracle contract).
+  topo.set_position(5, {1000.0, 0.0});
+  EXPECT_FALSE(r.next_hop(0, 9).has_value());
+  EXPECT_EQ(r.stats().snapshots, 2u);
 }
 
 }  // namespace

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <vector>
+
 #include "sim/random.h"
 
 namespace jtp::phy {
@@ -64,6 +67,87 @@ TEST(Topology, MovingNodeChangesConnectivity) {
 TEST(Topology, RejectsBadConstruction) {
   EXPECT_THROW(Topology(0, 10.0), std::invalid_argument);
   EXPECT_THROW(Topology(3, 0.0), std::invalid_argument);
+}
+
+TEST(Topology, GenerationBumpsOnEverySetPosition) {
+  auto t = Topology::linear(3, 30.0, 40.0);
+  const auto g0 = t.generation();
+  t.set_position(1, {31.0, 0.0});
+  EXPECT_EQ(t.generation(), g0 + 1);
+  // Same position again still counts: generation tracks writes, and
+  // in-range state depends on exact coordinates, not grid cells.
+  t.set_position(1, {31.0, 0.0});
+  EXPECT_EQ(t.generation(), g0 + 2);
+}
+
+// --- grid-index properties -------------------------------------------------
+// The spatial index must be invisible: neighbors() has to agree with the
+// O(n^2) definition (all in_range ids, ascending) on any placement,
+// including after mobility-style churn and on negative coordinates.
+
+std::vector<core::NodeId> brute_force_neighbors(const Topology& t,
+                                                core::NodeId id) {
+  std::vector<core::NodeId> out;
+  for (core::NodeId j = 0; j < t.size(); ++j)
+    if (t.in_range(id, j)) out.push_back(j);
+  return out;
+}
+
+void expect_index_matches_brute_force(const Topology& t,
+                                      const char* context) {
+  std::vector<core::NodeId> scratch;
+  for (core::NodeId i = 0; i < t.size(); ++i) {
+    EXPECT_EQ(t.neighbors(i), brute_force_neighbors(t, i))
+        << context << ": node " << i;
+    t.neighbors_into(i, scratch);
+    EXPECT_EQ(scratch, brute_force_neighbors(t, i))
+        << context << " (into): node " << i;
+  }
+}
+
+TEST(TopologyGridIndex, NeighborsMatchBruteForceOnRandomFields) {
+  sim::Rng rng(42);
+  for (const std::size_t n : {2u, 7u, 40u, 150u}) {
+    Topology t(n, 40.0);
+    const double side = 40.0 * std::sqrt(static_cast<double>(n));
+    for (core::NodeId i = 0; i < n; ++i)
+      t.set_position(i, {rng.uniform(0.0, side), rng.uniform(0.0, side)});
+    expect_index_matches_brute_force(t, "fresh placement");
+  }
+}
+
+TEST(TopologyGridIndex, NeighborsMatchBruteForceAfterChurn) {
+  sim::Rng rng(7);
+  const std::size_t n = 60;
+  Topology t(n, 40.0);
+  for (core::NodeId i = 0; i < n; ++i)
+    t.set_position(i, {rng.uniform(0.0, 300.0), rng.uniform(0.0, 300.0)});
+  // Mobility-style churn: small steps, long jumps, and excursions to
+  // negative coordinates (cells left, emptied, re-entered).
+  for (int round = 0; round < 200; ++round) {
+    const auto id = static_cast<core::NodeId>(rng.integer(n));
+    const auto& p = t.position(id);
+    if (round % 5 == 0) {
+      t.set_position(id, {rng.uniform(-120.0, 420.0),
+                          rng.uniform(-120.0, 420.0)});
+    } else {
+      t.set_position(id, {p.x + rng.uniform(-10.0, 10.0),
+                          p.y + rng.uniform(-10.0, 10.0)});
+    }
+  }
+  expect_index_matches_brute_force(t, "after churn");
+}
+
+TEST(TopologyGridIndex, RangeBoundaryIsInclusiveAcrossCells) {
+  // Two nodes exactly one range apart land in different cells; the index
+  // must keep the <= boundary the scan had.
+  Topology t(2, 40.0);
+  t.set_position(0, {0.0, 0.0});
+  t.set_position(1, {40.0, 0.0});
+  EXPECT_TRUE(t.in_range(0, 1));
+  EXPECT_EQ(t.neighbors(0), (std::vector<core::NodeId>{1}));
+  t.set_position(1, {40.0000001, 0.0});
+  EXPECT_TRUE(t.neighbors(0).empty());
 }
 
 }  // namespace

@@ -18,8 +18,9 @@ BIN=${1:?usage: run_bench_suite.sh BENCH_BIN_DIR OUTDIR [JOBS]}
 OUT=${2:?usage: run_bench_suite.sh BENCH_BIN_DIR OUTDIR [JOBS]}
 JOBS=${3:-0}
 
-# micro_perf is excluded: its output is wall-clock timings, which are
-# machine-dependent and meaningless to diff against a committed baseline.
+# micro_perf and scale_sweep are excluded: their output includes
+# wall-clock timings, which are machine-dependent and meaningless to
+# diff against a committed baseline.
 BENCHES="fig03_reliability fig04_caching fig05_backoff fig06_cache_size \
 fig07_feedback fig08_adaptation fig09_linear fig10_random fig11_mobility \
 table2_testbed analysis_caching_gain ablation_flipflop ablation_snack_rewrite"
