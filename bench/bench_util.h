@@ -81,7 +81,9 @@ inline const char* usage_text() {
       "  --scenario SPEC   comma-separated key=value scenario overrides\n"
       "                    (first token may name a preset: linear, random,\n"
       "                    mobile, testbed, scale), e.g.\n"
-      "                    --scenario 'net_size=12,loss_good=0.1'\n"
+      "                    --scenario 'net_size=12,loss_good=0.1' or\n"
+      "                    --scenario 'mac=tdma_reuse' (tdma, tdma_reuse,\n"
+      "                    csma)\n"
       "  --help            show this message\n";
 }
 

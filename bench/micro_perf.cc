@@ -1,5 +1,6 @@
 // google-benchmark micro-benchmarks of the hot per-packet paths: event
-// queue, LRU cache, path monitor, reliability math, TDMA slot lookup.
+// queue, LRU cache, path monitor, reliability math, TDMA slot lookup,
+// interference coloring, and the CSMA contention cycle.
 //
 // Accepts the suite-wide --csv PATH and --jobs N flags (translated to
 // --benchmark_out=PATH in CSV format / ignored, since the kernels are
@@ -19,6 +20,8 @@
 #include "core/reliability.h"
 #include "core/transport.h"
 #include "exp/scenario.h"
+#include "mac/csma_mac.h"
+#include "mac/interference.h"
 #include "mac/tdma_schedule.h"
 #include "net/network.h"
 #include "phy/topology.h"
@@ -247,6 +250,55 @@ void BM_TdmaNextOwnedSlot(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_TdmaNextOwnedSlot)->Arg(8)->Arg(25);
+
+// The spatial-reuse MAC's recolor cost: one full greedy 2-hop coloring of
+// a connected random field. This is the per-topology-change control-plane
+// price of slot reuse; grid-gathered candidates keep it near-linear in n.
+void BM_InterferenceColoring(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  sim::Rng rng(7);
+  auto topo = scale_field(n, rng);
+  for (auto _ : state) {
+    const auto c = mac::color_interference(topo, 1.0);
+    benchmark::DoNotOptimize(c.colors_used);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_InterferenceColoring)
+    ->Arg(25)
+    ->Arg(400)
+    ->Unit(benchmark::kMicrosecond);
+
+// One CSMA contention cycle end to end: enqueue on an idle 2-node rig,
+// then drain the backoff + CCA + transmit + completion event chain.
+void BM_CsmaBackoff(benchmark::State& state) {
+  core::PacketPool pool;
+  sim::Simulator sim;
+  phy::Topology topo(2, exp::kRangeM);
+  topo.set_position(1, {10.0, 0.0});
+  phy::ChannelConfig ccfg;
+  ccfg.fading_enabled = false;
+  ccfg.loss_good = 0.0;
+  phy::Channel channel(ccfg, sim::Rng(7).derive("channel"));
+  phy::EnergyModel energy(2);
+  mac::CsmaMedium medium(topo);
+  mac::CsmaMac m(sim, medium, channel, energy, 0, 0.005, {},
+                 sim::Rng(7).derive("csma", 0));
+  m.set_deliver([](core::PacketPtr&&, core::NodeId, core::NodeId) {});
+  for (auto _ : state) {
+    auto p = pool.make();
+    p->type = core::PacketType::kData;
+    p->flow = 1;
+    p->src = 0;
+    p->dst = 1;
+    p->payload_bytes = core::kDefaultPayloadBytes;
+    m.enqueue(std::move(p), 1);
+    sim.run();
+    benchmark::DoNotOptimize(m.deliveries());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CsmaBackoff);
 
 // ---------------------------------------------------------------------------
 // Cost of the polymorphic core::TransportReceiver interface on the

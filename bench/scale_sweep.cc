@@ -1,18 +1,27 @@
-// Scale sweep: control-plane and data-plane cost vs network size.
+// Scale sweep: control-plane and data-plane cost vs network size, per
+// MAC discipline.
 //
 // Runs the "scale" preset — a large connected random field with a
 // many-flow fan-in workload (k senders converging on node 0) — at
-// n = 100/400 (quick) or 100/400/1000 (--full) and reports, per size:
-// delivered packets, delivery and event rate per wall-clock second,
-// routing work (view refreshes, snapshot copies, BFS rows built, row
-// reuses), and the pool high-water marks that pin the zero-allocation
-// claim at scale. Add speed=1 via --scenario for the mobile variant, or
+// n = 100/400 (quick) or 100/400/1000 (--full), once per registered CLI
+// MAC (classic TDMA, spatial-reuse TDMA, CSMA/CA; --scenario mac=...
+// collapses the sweep), and reports, per size: delivered packets,
+// delivery and event rate per wall-clock second, the MAC's slot-reuse
+// figures (colors = slots per frame, reuse = n/colors), routing work,
+// and the pool high-water marks that pin the zero-allocation claim at
+// scale. The headline contrast: classic TDMA throughput collapses as
+// 1/(n·slot) while spatial reuse holds the frame at the interference
+// chromatic bound, so aggregate delivery keeps growing with field area.
+// Add speed=1 via --scenario for the mobile variant, or
 // workload=on_off,transfer=50 for bursty sources.
 //
 // Wall-clock columns are machine-dependent, so this bench is excluded
-// from the committed-baseline suite (like micro_perf).
+// from the committed-baseline suite (like micro_perf). --deterministic
+// drops those columns, leaving a byte-stable CSV that CI diffs across
+// --jobs values.
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <vector>
 
 #include "bench_util.h"
@@ -28,6 +37,8 @@ struct ScaleRun {
   double wall_s = 0.0;
   double events = 0.0;
   double delivered = 0.0;
+  double colors = 0.0;
+  double reuse = 1.0;
   double refreshes = 0.0;
   double snapshots = 0.0;
   double rows_built = 0.0;
@@ -47,10 +58,13 @@ ScaleRun one_run(exp::ScenarioSpec spec, std::size_t n, std::uint64_t seed,
       std::chrono::steady_clock::now() - t0;
   const auto m = s.flows->collect(duration);
   const auto& rs = s.network->routing().stats();
+  const auto ms = s.network->mac_fabric().stats();
   ScaleRun r;
   r.wall_s = wall.count();
   r.events = static_cast<double>(s.network->simulator().events_executed());
   r.delivered = static_cast<double>(m.delivered_packets);
+  r.colors = static_cast<double>(ms.colors_used);
+  r.reuse = ms.reuse_factor;
   r.refreshes = static_cast<double>(rs.refreshes);
   r.snapshots = static_cast<double>(rs.snapshots);
   r.rows_built = static_cast<double>(rs.rows_built);
@@ -76,7 +90,21 @@ double mean_of(const std::vector<ScaleRun>& runs, double ScaleRun::*field) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto opt = bench::parse_options(argc, argv);
+  // --deterministic is ours, not bench_util's: filter it out before the
+  // strict flag parser sees it (micro_perf does the same split for the
+  // benchmark library's flags).
+  bool deterministic = false;
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--deterministic") == 0) {
+      deterministic = true;
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  const auto opt =
+      bench::parse_options(static_cast<int>(args.size()), args.data());
   const std::size_t n_runs = opt.pick_runs(1, 3);
   const double duration = opt.pick_duration(60.0, 300.0);
 
@@ -88,53 +116,78 @@ int main(int argc, char** argv) {
       base.net_size, defaults.net_size,
       opt.full ? std::vector<std::size_t>{100, 400, 1000}
                : std::vector<std::size_t>{100, 400});
+  const auto macs = bench::sweep_or<mac::Mac>(
+      base.mac, defaults.mac,
+      {mac::Mac::kTdma, mac::Mac::kTdmaReuse, mac::Mac::kCsma});
 
-  std::printf("=== Scale sweep: control plane cost vs network size ===\n");
+  std::printf("=== Scale sweep: cost vs network size, per MAC ===\n");
   std::printf("%s, %.0f s simulated, %zu run(s)\n\n",
               exp::to_string(base).c_str(), duration, n_runs);
 
-  std::vector<sim::Column> cols{{"net_size", 0},
-                                {"wall_s", 2, true},
-                                {"pkts", 0},
-                                {"pkts_per_wall_s", 0},
-                                {"kevt_per_wall_s", 0},
-                                {"refreshes", 0},
-                                {"snapshots", 0},
-                                {"rows_built", 0},
-                                {"row_reuses", 0},
-                                {"ev_pool_hw", 0},
-                                {"pkt_pool_hw", 0}};
-  auto rep = bench::make_report(opt, "", std::move(cols), 16);
-  rep.begin();
+  for (const mac::Mac m : macs) {
+    auto spec = base;
+    spec.mac = m;
 
-  for (const std::size_t n : sizes) {
-    const auto runs = exp::run_seeds_as(
-        n_runs, opt.seed,
-        [&](std::uint64_t s) { return one_run(base, n, s, duration); },
-        opt.jobs);
-    double wall = 0.0, pkts = 0.0, events = 0.0;
-    for (const auto& r : runs) {
-      wall += r.wall_s;
-      pkts += r.delivered;
-      events += r.events;
+    std::vector<sim::Column> cols{{"net_size", 0}};
+    if (!deterministic) cols.push_back({"wall_s", 2, true});
+    cols.push_back({"pkts", 0});
+    if (!deterministic) {
+      cols.push_back({"pkts_per_wall_s", 0});
+      cols.push_back({"kevt_per_wall_s", 0});
     }
-    const auto wall_summary = summarize(runs, &ScaleRun::wall_s);
-    rep.row({static_cast<double>(n),
-             sim::Cell(wall_summary.mean(), wall_summary.ci95_halfwidth()),
-             mean_of(runs, &ScaleRun::delivered),
-             wall > 0 ? pkts / wall : 0.0,
-             wall > 0 ? events / wall / 1e3 : 0.0,
-             mean_of(runs, &ScaleRun::refreshes),
-             mean_of(runs, &ScaleRun::snapshots),
-             mean_of(runs, &ScaleRun::rows_built),
-             mean_of(runs, &ScaleRun::row_reuses),
-             mean_of(runs, &ScaleRun::event_pool_hw),
-             mean_of(runs, &ScaleRun::packet_pool_hw)});
+    for (const auto& c : std::vector<sim::Column>{{"colors", 0},
+                                                  {"reuse", 2},
+                                                  {"refreshes", 0},
+                                                  {"snapshots", 0},
+                                                  {"rows_built", 0},
+                                                  {"row_reuses", 0},
+                                                  {"ev_pool_hw", 0},
+                                                  {"pkt_pool_hw", 0}})
+      cols.push_back(c);
+    auto rep = bench::make_report(opt, "mac=" + mac::mac_name(m),
+                                  std::move(cols), 16, mac::mac_name(m));
+    rep.begin();
+
+    for (const std::size_t n : sizes) {
+      const auto runs = exp::run_seeds_as(
+          n_runs, opt.seed,
+          [&](std::uint64_t s) { return one_run(spec, n, s, duration); },
+          opt.jobs);
+      double wall = 0.0, pkts = 0.0, events = 0.0;
+      for (const auto& r : runs) {
+        wall += r.wall_s;
+        pkts += r.delivered;
+        events += r.events;
+      }
+      std::vector<sim::Cell> row{static_cast<double>(n)};
+      if (!deterministic) {
+        const auto ws = summarize(runs, &ScaleRun::wall_s);
+        row.push_back(sim::Cell(ws.mean(), ws.ci95_halfwidth()));
+      }
+      row.push_back(mean_of(runs, &ScaleRun::delivered));
+      if (!deterministic) {
+        row.push_back(wall > 0 ? pkts / wall : 0.0);
+        row.push_back(wall > 0 ? events / wall / 1e3 : 0.0);
+      }
+      row.push_back(mean_of(runs, &ScaleRun::colors));
+      row.push_back(mean_of(runs, &ScaleRun::reuse));
+      row.push_back(mean_of(runs, &ScaleRun::refreshes));
+      row.push_back(mean_of(runs, &ScaleRun::snapshots));
+      row.push_back(mean_of(runs, &ScaleRun::rows_built));
+      row.push_back(mean_of(runs, &ScaleRun::row_reuses));
+      row.push_back(mean_of(runs, &ScaleRun::event_pool_hw));
+      row.push_back(mean_of(runs, &ScaleRun::packet_pool_hw));
+      rep.row(row);
+    }
+    bench::finish_report(rep);
+    std::printf("\n");
   }
-  bench::finish_report(rep);
   std::printf(
-      "\nexpected shape: rows_built stays near (sources on live paths) x\n"
-      "(snapshots), orders of magnitude below net_size x refreshes; the\n"
-      "pool high-water marks grow with flows, not with net_size.\n");
+      "expected shape: under mac=tdma, colors == n and per-flow delivery\n"
+      "collapses as 1/(n*slot); under mac=tdma_reuse, colors tracks local\n"
+      "density (reuse = n/colors grows with n), so aggregate pkts keeps\n"
+      "growing with field area. rows_built stays near (sources on live\n"
+      "paths) x (snapshots); the pool high-water marks grow with flows,\n"
+      "not with net_size.\n");
   return 0;
 }

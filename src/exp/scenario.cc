@@ -50,6 +50,9 @@ bool operator==(const ScenarioSpec& a, const ScenarioSpec& b) {
          a.queue_capacity_packets == b.queue_capacity_packets &&
          a.slot_duration_s == b.slot_duration_s &&
          a.routing_refresh_s == b.routing_refresh_s && a.seed == b.seed &&
+         a.mac == b.mac && a.reuse_margin == b.reuse_margin &&
+         a.csma_min_be == b.csma_min_be && a.csma_max_be == b.csma_max_be &&
+         a.csma_max_backoffs == b.csma_max_backoffs &&
          a.workload == b.workload;
 }
 
@@ -108,9 +111,10 @@ ScenarioSpec preset(const std::string& name) {
     // random field with many flows fanning into one sink. net_size is
     // meant to be swept (100/400/1000 in bench/scale_sweep.cc); add
     // speed=1 for the mobile variant. The slot is scaled down from the
-    // paper's 35 ms because TDMA capacity is 1/(n*slot) per node — at
-    // n = 1000 the paper slot would starve every flow to 0.03 pkt/s
-    // (spatial slot reuse in the MAC is the real fix, future work).
+    // paper's 35 ms because classic TDMA capacity is 1/(n*slot) per
+    // node — at n = 1000 the paper slot would starve every flow to
+    // 0.03 pkt/s. Add mac=tdma_reuse for the real fix: spatial slot
+    // reuse makes the frame scale with local density, not n.
     s.topology = TopologyKind::kRandom;
     s.net_size = 100;
     s.slot_duration_s = 0.005;
@@ -245,6 +249,34 @@ std::string apply_pair(ScenarioSpec& spec, const std::string& key,
       return bad_value(key, value, "a non-negative integer");
     return "";
   }
+  if (key == "mac") {
+    const auto m = mac::parse_mac(value);
+    if (!m) return bad_value(key, value, "a MAC (tdma, tdma_reuse, csma)");
+    spec.mac = *m;
+    return "";
+  }
+  if (key == "reuse_margin")
+    return set_double(spec.reuse_margin, 1.0, 4.0,
+                      "a range multiple in [1, 4]");
+  if (key == "min_be") {
+    const auto err = set_size(spec.csma_min_be, 0, "an integer in [0, 10]");
+    if (!err.empty() || spec.csma_min_be > 10)
+      return bad_value(key, value, "an integer in [0, 10]");
+    return "";
+  }
+  if (key == "max_be") {
+    const auto err = set_size(spec.csma_max_be, 0, "an integer in [0, 10]");
+    if (!err.empty() || spec.csma_max_be > 10)
+      return bad_value(key, value, "an integer in [0, 10]");
+    return "";
+  }
+  if (key == "max_backoffs") {
+    const auto err =
+        set_size(spec.csma_max_backoffs, 0, "an integer in [0, 20]");
+    if (!err.empty() || spec.csma_max_backoffs > 20)
+      return bad_value(key, value, "an integer in [0, 20]");
+    return "";
+  }
   if (key == "workload") {
     for (auto k : {WorkloadKind::kManual, WorkloadKind::kEnds,
                    WorkloadKind::kRandomPairs, WorkloadKind::kPoisson,
@@ -294,6 +326,21 @@ std::string fmt_double(double v) {
   return std::string(buf, r.ptr);
 }
 
+// Cross-key MAC-family validation: tuning a discipline the spec does not
+// select would be a silent no-op, so it is an error instead. Triggers
+// only on non-default values — to_string() always emits every key, and
+// the round-trip contract must hold for every valid spec.
+std::string validate_spec(const ScenarioSpec& s) {
+  if (s.mac != mac::Mac::kTdmaReuse && s.reuse_margin != 1.0)
+    return "scenario: reuse_margin requires mac=tdma_reuse";
+  if (s.mac != mac::Mac::kCsma &&
+      (s.csma_min_be != 3 || s.csma_max_be != 5 || s.csma_max_backoffs != 4))
+    return "scenario: min_be/max_be/max_backoffs require mac=csma";
+  if (s.csma_min_be > s.csma_max_be)
+    return "scenario: min_be must be <= max_be";
+  return "";
+}
+
 }  // namespace
 
 std::string apply_scenario_tokens(ScenarioSpec& spec,
@@ -329,7 +376,7 @@ std::string apply_scenario_tokens(ScenarioSpec& spec,
     }
     first = false;
   }
-  return "";
+  return validate_spec(spec);
 }
 
 SpecParse parse_scenario(const std::string& text) {
@@ -360,6 +407,11 @@ std::string to_string(const ScenarioSpec& s) {
   kv("slot_duration", fmt_double(s.slot_duration_s));
   kv("routing_refresh", fmt_double(s.routing_refresh_s));
   kv("seed", std::to_string(s.seed));
+  kv("mac", mac::mac_name(s.mac));
+  kv("reuse_margin", fmt_double(s.reuse_margin));
+  kv("min_be", std::to_string(s.csma_min_be));
+  kv("max_be", std::to_string(s.csma_max_be));
+  kv("max_backoffs", std::to_string(s.csma_max_backoffs));
   kv("workload", workload_name(s.workload.kind));
   kv("flows", std::to_string(s.workload.n_flows));
   kv("transfer", std::to_string(s.workload.transfer_packets));
@@ -399,7 +451,12 @@ net::NetworkConfig make_network_config(const ScenarioSpec& spec) {
   cfg.channel.loss_good = spec.loss_good;
   cfg.channel.loss_bad = spec.loss_bad;
   cfg.channel.bad_fraction = spec.bad_fraction;
+  cfg.mac_kind = spec.mac;
   cfg.mac.queue_capacity_packets = spec.queue_capacity_packets;
+  cfg.mac.reuse_range_margin = spec.reuse_margin;
+  cfg.mac.csma.min_be = static_cast<int>(spec.csma_min_be);
+  cfg.mac.csma.max_be = static_cast<int>(spec.csma_max_be);
+  cfg.mac.csma.max_backoffs = static_cast<int>(spec.csma_max_backoffs);
   cfg.routing.refresh_interval_s = spec.routing_refresh_s;
   cfg.node.ijtp.cache_capacity_packets = spec.cache_size_packets;
   cfg.node.ijtp.caching_enabled =
@@ -549,6 +606,9 @@ void apply_workload(const ScenarioSpec& spec, FlowManager& fm) {
 }  // namespace
 
 Scenario build(const ScenarioSpec& spec) {
+  // Programmatically assembled specs bypass the parser; re-validate.
+  const auto verr = validate_spec(spec);
+  if (!verr.empty()) throw std::invalid_argument(verr);
   auto cfg = make_network_config(spec);
   auto topo = make_topology(spec);
   if (spec.speed_mps > 0.0) {

@@ -81,6 +81,14 @@ struct ScenarioSpec {
   double slot_duration_s = 0.035;
   double routing_refresh_s = 5.0;
   std::uint64_t seed = 1;
+  // --- MAC discipline ---
+  mac::Mac mac = mac::Mac::kTdma;
+  // tdma_reuse only: interference range as a multiple of the radio range.
+  double reuse_margin = 1.0;
+  // csma only: 802.15.4-style contention knobs.
+  std::size_t csma_min_be = 3;
+  std::size_t csma_max_be = 5;
+  std::size_t csma_max_backoffs = 4;
   // --- workload ---
   WorkloadSpec workload;
 };
@@ -110,9 +118,14 @@ std::vector<std::string> preset_names();
 //
 // Keys mirror the struct fields (topology, net_size, grid_cols, speed,
 // fading, loss_good, loss_bad, bad_fraction, proto, cache_size,
-// queue_capacity, slot_duration, routing_refresh, seed, workload, flows,
-// transfer, start, stagger, interarrival, window, burst_gap, fan_in,
-// loss_tolerance).
+// queue_capacity, slot_duration, routing_refresh, seed, mac, reuse_margin,
+// min_be, max_be, max_backoffs, workload, flows, transfer, start, stagger,
+// interarrival, window, burst_gap, fan_in, loss_tolerance).
+//
+// MAC-family knobs are validated cross-key: reuse_margin differing from
+// its default requires mac=tdma_reuse, and the csma knobs require
+// mac=csma — a spec that tunes a discipline it does not select is a
+// silent no-op the validation turns into a parse error.
 
 // Applies tokens onto `spec` in order. Returns "" on success or a
 // human-readable error (unknown key, malformed value, out-of-range);

@@ -1,0 +1,167 @@
+#include "mac/csma_mac.h"
+
+#include <algorithm>
+
+namespace jtp::mac {
+
+void CsmaMedium::prune(sim::Time before) const {
+  active_.erase(std::remove_if(active_.begin(), active_.end(),
+                               [before](const Tx& t) {
+                                 return t.end <= before;
+                               }),
+                active_.end());
+}
+
+void CsmaMedium::begin_tx(core::NodeId sender, sim::Time start,
+                          sim::Time end) {
+  prune(start);
+  active_.push_back(Tx{sender, start, end});
+}
+
+bool CsmaMedium::busy(core::NodeId listener, sim::Time now) const {
+  prune(now);
+  for (const Tx& t : active_)
+    if (t.start <= now && now < t.end && topo_.in_range(t.sender, listener))
+      return true;
+  return false;
+}
+
+bool CsmaMedium::collided(core::NodeId receiver, core::NodeId sender,
+                          sim::Time start, sim::Time end) const {
+  prune(start);
+  for (const Tx& t : active_)
+    if (t.sender != sender && t.start < end && start < t.end &&
+        topo_.in_range(t.sender, receiver))
+      return true;
+  return false;
+}
+
+CsmaMac::CsmaMac(sim::Simulator& sim, CsmaMedium& medium, phy::Channel& channel,
+                 phy::EnergyModel& energy, core::NodeId self,
+                 double unit_backoff_s, MacConfig cfg, sim::Rng rng)
+    : MacBase(sim, channel, energy, self, cfg),
+      medium_(medium),
+      unit_(unit_backoff_s),
+      rng_(rng),
+      be_(cfg.csma.min_be) {
+  // Nominal capacity for the estimator: one packet per full minimum
+  // contention window of unit periods.
+  estimator_.set_capacity_pps(
+      1.0 / (unit_ * static_cast<double>(1ULL << cfg.csma.min_be)));
+}
+
+void CsmaMac::kick() {
+  if (busy_) return;  // the running cycle picks up new traffic at its end
+  if (current_queue() == nullptr) return;
+  busy_ = true;
+  nb_ = 0;
+  be_ = cfg_.csma.min_be;
+  start_backoff();
+}
+
+void CsmaMac::start_backoff() {
+  const std::uint64_t periods = rng_.integer(1ULL << be_);
+  sim_.schedule(static_cast<double>(periods) * unit_,
+                [this] { attempt_transmit(); });
+}
+
+void CsmaMac::attempt_transmit() {
+  TxRing* qp = current_queue();
+  if (qp == nullptr) {  // head consumed by a drop path mid-cycle
+    busy_ = false;
+    return;
+  }
+  TxRing& q = *qp;
+
+  if (medium_.busy(self_, sim_.now())) {
+    ++cca_failures_;
+    ++nb_;
+    be_ = std::min(be_ + 1, cfg_.csma.max_be);
+    if (nb_ > cfg_.csma.max_backoffs) {
+      // Channel-access failure: the contention budget is spent, the
+      // packet is lost locally just like an exhausted retry budget.
+      ++attempt_drops_;
+      finish_head(q, /*delivered=*/false);
+      next_cycle();
+      return;
+    }
+    start_backoff();
+    return;
+  }
+
+  Entry& e = q.front();
+  const bool first_attempt = (e.attempts_done == 0);
+  const core::LinkView link = estimator_.view(e.next_hop, sim_.now());
+  const core::Joules tx_e = energy_.tx_energy(e.packet->size_bits());
+
+  PreXmitDecision d;
+  d.max_attempts = cfg_.default_max_attempts;
+  if (pre_xmit_)
+    d = pre_xmit_(*e.packet, e.next_hop, link, tx_e, first_attempt);
+  if (d.drop) {
+    ++budget_drops_;
+    finish_head(q, /*delivered=*/false);
+    next_cycle();
+    return;
+  }
+  if (first_attempt) {
+    e.max_attempts =
+        d.max_attempts > 0 ? d.max_attempts : cfg_.default_max_attempts;
+    if (attempt_trace_ && e.packet->is_data())
+      attempt_trace_(sim_.now(), *e.packet, e.max_attempts);
+  }
+
+  ++transmissions_;
+  ++e.attempts_done;
+  estimator_.record_slot_used(sim_.now());
+  energy_.charge_tx(self_, e.packet->size_bits());
+
+  const double air = energy_.config().fixed_overhead_s +
+                     energy_.airtime_s(e.packet->size_bits());
+  const sim::Time start = sim_.now();
+  const sim::Time end = start + air;
+  medium_.begin_tx(self_, start, end);
+  // Fading loss is drawn now; the collision verdict waits for the
+  // transmission to finish (a hidden terminal may start mid-air). The
+  // head ring is captured here: an ACK enqueued while this data frame is
+  // in the air must not redirect the completion to the control ring.
+  const bool lost_ch = channel_.transmission_lost(self_, e.next_hop, start);
+  sim_.schedule(air, [this, qp, start, end, lost_ch] {
+    finish_tx(qp, start, end, lost_ch);
+  });
+}
+
+void CsmaMac::finish_tx(TxRing* q, sim::Time start, sim::Time end,
+                        bool lost_ch) {
+  Entry& e = q->front();
+  const bool lost = lost_ch || medium_.collided(e.next_hop, self_, start, end);
+  estimator_.record_attempt(e.next_hop, lost);
+
+  if (!lost) {
+    energy_.charge_rx(e.next_hop, e.packet->size_bits());
+    core::PacketPtr delivered = std::move(e.packet);
+    const core::NodeId from = self_;
+    const core::NodeId to = e.next_hop;
+    finish_head(*q, /*delivered=*/true);
+    // The airtime has already elapsed: hand to the fabric immediately.
+    if (deliver_) deliver_(std::move(delivered), from, to);
+  } else if (e.attempts_done >= e.max_attempts) {
+    ++attempt_drops_;
+    finish_head(*q, /*delivered=*/false);
+  }
+  // else: the packet stays at the head and re-contends.
+
+  next_cycle();
+}
+
+void CsmaMac::next_cycle() {
+  nb_ = 0;
+  be_ = cfg_.csma.min_be;
+  if (current_queue() != nullptr) {
+    start_backoff();
+  } else {
+    busy_ = false;
+  }
+}
+
+}  // namespace jtp::mac

@@ -1,0 +1,83 @@
+// Slotted CSMA/CA with binary exponential backoff (802.15.4 style).
+//
+// The contention counterpoint to the TDMA family: instead of owned slots,
+// a node that has traffic backs off a random number of unit periods in
+// [0, 2^BE), senses the carrier (CCA), and transmits if idle. A busy CCA
+// doubles the window (BE capped at max_be) and counts against the backoff
+// budget; exhausting max_backoffs is a channel-access failure that drops
+// the packet. Carrier sense is physical: a CSMA medium shared by the
+// fabric tracks in-flight transmissions against the topology, so hidden
+// terminals are real — two transmitters out of carrier range of each
+// other can still collide at a common receiver, detected at transmission
+// end. Every attempt (including retries) is charged to the energy layer
+// individually, matching the ns-3 802.15.4 energy exemplar where cost is
+// unitEnergy · (retries + 1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mac/mac_base.h"
+#include "phy/topology.h"
+#include "sim/random.h"
+
+namespace jtp::mac {
+
+// The shared carrier: one per fabric. Tracks active transmissions so CCA
+// and collision checks are range queries against the topology.
+class CsmaMedium {
+ public:
+  explicit CsmaMedium(const phy::Topology& topo) : topo_(topo) {}
+
+  void begin_tx(core::NodeId sender, sim::Time start, sim::Time end);
+
+  // CCA: is any in-flight transmission audible at `listener` now?
+  bool busy(core::NodeId listener, sim::Time now) const;
+
+  // Did a foreign transmission audible at `receiver` overlap [start, end)?
+  // Decides the fate of `sender`'s transmission at its end.
+  bool collided(core::NodeId receiver, core::NodeId sender, sim::Time start,
+                sim::Time end) const;
+
+ private:
+  struct Tx {
+    core::NodeId sender = core::kInvalidNode;
+    sim::Time start = 0.0;
+    sim::Time end = 0.0;
+  };
+  void prune(sim::Time before) const;
+
+  const phy::Topology& topo_;
+  mutable std::vector<Tx> active_;
+};
+
+class CsmaMac final : public MacBase {
+ public:
+  CsmaMac(sim::Simulator& sim, CsmaMedium& medium, phy::Channel& channel,
+          phy::EnergyModel& energy, core::NodeId self, double unit_backoff_s,
+          MacConfig cfg, sim::Rng rng);
+
+  // Busy-CCA count (each one burns a backoff stage); conformance and the
+  // energy analysis read contention pressure off this.
+  std::uint64_t cca_failures() const { return cca_failures_; }
+
+ protected:
+  void kick() override;
+
+ private:
+  void start_backoff();
+  void attempt_transmit();
+  void finish_tx(TxRing* q, sim::Time start, sim::Time end, bool lost_ch);
+  void next_cycle();
+
+  CsmaMedium& medium_;
+  double unit_;  // one backoff period, seconds
+  sim::Rng rng_;
+
+  bool busy_ = false;  // a contention cycle (backoff or tx) is in flight
+  int nb_ = 0;         // busy-CCA count this cycle
+  int be_ = 0;         // current backoff exponent
+  std::uint64_t cca_failures_ = 0;
+};
+
+}  // namespace jtp::mac

@@ -1,0 +1,84 @@
+#include "mac/interference.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace jtp::mac {
+
+namespace {
+
+// Cell key packing for the candidate grid, tolerant of negative
+// coordinates (mirrors phy::Topology's scheme: two offset 32-bit halves).
+std::uint64_t pack_cell(std::int64_t cx, std::int64_t cy) {
+  const auto ux = static_cast<std::uint64_t>(cx + 0x40000000LL);
+  const auto uy = static_cast<std::uint64_t>(cy + 0x40000000LL);
+  return (ux << 32) | (uy & 0xffffffffULL);
+}
+
+}  // namespace
+
+Coloring color_interference(const phy::Topology& topo, double range_margin) {
+  const std::size_t n = topo.size();
+  const double r = topo.radio_range();
+  const double direct = std::max(range_margin, 1.0) * r;
+  Coloring out;
+  out.color.assign(n, 0);
+  if (n == 0) return out;
+
+  // Every conflict partner of a node lies within max(direct, 2R): direct
+  // conflicts by definition, hidden-terminal conflicts via a common
+  // witness within R of both ends. A grid with that cell side makes the
+  // 3x3 block around a node a complete candidate superset.
+  const double reach = std::max(direct, 2.0 * r);
+  std::unordered_map<std::uint64_t, std::vector<core::NodeId>> cells;
+  cells.reserve(n);
+  auto cell_of = [&](const phy::Position& p) {
+    return pack_cell(static_cast<std::int64_t>(std::floor(p.x / reach)),
+                     static_cast<std::int64_t>(std::floor(p.y / reach)));
+  };
+  for (core::NodeId id = 0; id < n; ++id)
+    cells[cell_of(topo.position(id))].push_back(id);
+
+  // Stamped color-in-use marks (no per-node clearing) and reusable
+  // scratch for the witness query.
+  std::vector<std::uint32_t> used_stamp;
+  std::vector<core::NodeId> witnesses;
+  std::uint32_t next_color = 0;
+
+  auto conflicts = [&](core::NodeId a, core::NodeId b) {
+    const double d = phy::distance(topo.position(a), topo.position(b));
+    if (d <= direct) return true;
+    for (const core::NodeId w : witnesses)  // neighbors of a, within R
+      if (w != b && phy::distance(topo.position(w), topo.position(b)) <= r)
+        return true;
+    return false;
+  };
+
+  for (core::NodeId a = 0; a < n; ++a) {
+    topo.neighbors_into(a, witnesses);
+    const phy::Position& pa = topo.position(a);
+    const auto cx = static_cast<std::int64_t>(std::floor(pa.x / reach));
+    const auto cy = static_cast<std::int64_t>(std::floor(pa.y / reach));
+    for (std::int64_t dx = -1; dx <= 1; ++dx)
+      for (std::int64_t dy = -1; dy <= 1; ++dy) {
+        const auto it = cells.find(pack_cell(cx + dx, cy + dy));
+        if (it == cells.end()) continue;
+        for (const core::NodeId b : it->second) {
+          if (b >= a) continue;  // greedy: only already-colored partners
+          if (!conflicts(a, b)) continue;
+          const std::uint32_t c = out.color[b];
+          if (c >= used_stamp.size()) used_stamp.resize(c + 1, 0);
+          used_stamp[c] = a + 1;  // stamp: "in use while coloring a"
+        }
+      }
+    std::uint32_t c = 0;
+    while (c < used_stamp.size() && used_stamp[c] == a + 1) ++c;
+    out.color[a] = c;
+    next_color = std::max(next_color, c + 1);
+  }
+  out.colors_used = next_color;
+  return out;
+}
+
+}  // namespace jtp::mac

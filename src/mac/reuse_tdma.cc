@@ -1,0 +1,92 @@
+#include "mac/reuse_tdma.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace jtp::mac {
+
+ReuseSchedule::ReuseSchedule(const phy::Topology& topo, double slot_duration_s,
+                             std::uint64_t seed, double range_margin)
+    : topo_(topo), slot_s_(slot_duration_s), seed_(seed), margin_(range_margin) {
+  if (slot_duration_s <= 0.0)
+    throw std::invalid_argument("ReuseSchedule: slot duration must be > 0");
+  ensure();
+}
+
+void ReuseSchedule::ensure() const {
+  const std::uint64_t gen = topo_.generation();
+  if (gen == colored_gen_) return;
+  coloring_ = color_interference(topo_, margin_);
+  // The permutation over colors keeps the slot -> color map pseudo-random
+  // per frame, same discipline (and seed) as the classic schedule.
+  slots_.emplace(std::max<std::size_t>(coloring_.colors_used, 1), slot_s_,
+                 seed_);
+  colored_gen_ = gen;
+  ++recolors_;
+}
+
+std::uint64_t ReuseSchedule::slot_at(sim::Time t) const {
+  if (t < 0.0) throw std::invalid_argument("ReuseSchedule: negative time");
+  return static_cast<std::uint64_t>(std::floor(t / slot_s_));
+}
+
+sim::Time ReuseSchedule::slot_start(std::uint64_t slot) const {
+  return static_cast<sim::Time>(slot) * slot_s_;
+}
+
+std::uint64_t ReuseSchedule::next_owned_slot_from(
+    core::NodeId node, std::uint64_t from_slot) const {
+  ensure();
+  // Ownership is per color: colors are dense ids in [0, colors_used), so
+  // the color schedule's own lookup applies directly.
+  return slots_->next_owned_slot_from(color_of(node), from_slot);
+}
+
+double ReuseSchedule::node_capacity_pps() const {
+  ensure();
+  return slots_->node_capacity_pps();
+}
+
+double ReuseSchedule::frame_duration() const {
+  ensure();
+  return slots_->frame_duration();
+}
+
+std::uint32_t ReuseSchedule::color_of(core::NodeId node) const {
+  ensure();
+  if (node >= coloring_.color.size())
+    throw std::out_of_range("ReuseSchedule: node id out of range");
+  return coloring_.color[node];
+}
+
+MacStats ReuseSchedule::stats() const {
+  ensure();
+  MacStats st;
+  st.recolors = recolors_;
+  st.colors_used = coloring_.colors_used;
+  st.max_color =
+      coloring_.colors_used == 0 ? 0 : coloring_.colors_used - 1;
+  st.reuse_factor =
+      coloring_.colors_used == 0
+          ? 1.0
+          : static_cast<double>(coloring_.color.size()) /
+                static_cast<double>(coloring_.colors_used);
+  return st;
+}
+
+ReuseTdmaMac::ReuseTdmaMac(sim::Simulator& sim, const ReuseSchedule& schedule,
+                           phy::Channel& channel, phy::EnergyModel& energy,
+                           core::NodeId self, MacConfig cfg)
+    : SlottedMac(sim, channel, energy, self, cfg), schedule_(schedule) {
+  estimator_.set_capacity_pps(schedule.node_capacity_pps());
+}
+
+std::uint64_t ReuseTdmaMac::next_owned_slot_from(std::uint64_t from_slot) {
+  // A recolor may have shrunk or grown the frame since the last look;
+  // refresh the estimator's capacity reference alongside.
+  schedule_.ensure();
+  estimator_.set_capacity_pps(schedule_.node_capacity_pps());
+  return schedule_.next_owned_slot_from(self_, from_slot);
+}
+
+}  // namespace jtp::mac

@@ -1,144 +1,37 @@
-// TDMA MAC instance (one per node).
+// Classic TDMA MAC instance (one per node) — the paper's discipline.
 //
-// Owns the node's transmit queue and drives the attempt/retry state
-// machine inside the node's scheduled slots. The transport layer hooks in
-// at two points, matching the paper's iJTP plug-in architecture (§2.2.2):
-//   * pre-xmit hook — invoked immediately before every over-the-air
-//     transmission; may drop the packet (energy budget) and, on the first
-//     attempt, fixes the packet's attempt budget;
-//   * delivery hook — invoked by the network fabric when a transmission
-//     succeeds, handing the packet to the next node's stack.
-// Per-link loss / available-rate / attempts statistics live in the
-// embedded LinkEstimator.
+// Binds the shared slot-timed transmit loop (mac/mac_base.h) to the
+// JAVeLEN-style pseudo-random TdmaSchedule: every node owns exactly one
+// slot per n-slot frame, so per-node capacity is 1/(n·slot). The first
+// registrant of the MacRegistry and the default everywhere — committed
+// baselines are pinned to its behaviour.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <vector>
 
-#include "core/env.h"
-#include "core/packet.h"
-#include "core/types.h"
-#include "mac/link_estimator.h"
+#include "mac/mac_base.h"
 #include "mac/tdma_schedule.h"
-#include "phy/channel.h"
-#include "phy/energy_model.h"
-#include "sim/simulator.h"
 
 namespace jtp::mac {
 
-struct MacConfig {
-  std::size_t queue_capacity_packets = 50;
-  int default_max_attempts = 5;  // used when no pre-xmit hook overrides
-  LinkEstimatorConfig estimator;
-};
-
-struct PreXmitDecision {
-  bool drop = false;
-  int max_attempts = 0;  // 0 = keep MAC default
-};
-
-class TdmaMac {
+class TdmaMac final : public SlottedMac {
  public:
-  // Hook signatures. `tx_energy` is what this attempt will cost the sender;
-  // `first_attempt` is true the first time this packet hits the air here.
-  using PreXmitHook = std::function<PreXmitDecision(
-      core::Packet&, core::NodeId next_hop, const core::LinkView&,
-      core::Joules tx_energy, bool first_attempt)>;
-  using DeliverHook = std::function<void(core::PacketPtr&&, core::NodeId from,
-                                         core::NodeId to)>;
-  using AttemptBudgetTrace =
-      std::function<void(sim::Time, const core::Packet&, int max_attempts)>;
-
   TdmaMac(sim::Simulator& sim, const TdmaSchedule& schedule,
           phy::Channel& channel, phy::EnergyModel& energy, core::NodeId self,
           MacConfig cfg = {});
 
-  void set_pre_xmit(PreXmitHook hook) { pre_xmit_ = std::move(hook); }
-  void set_deliver(DeliverHook hook) { deliver_ = std::move(hook); }
-  void set_attempt_trace(AttemptBudgetTrace t) { attempt_trace_ = std::move(t); }
-
-  // Queues a packet for `next_hop`. Returns false (and counts a queue
-  // drop) when the queue is full; the dropped packet's slot is recycled.
-  bool enqueue(core::PacketPtr p, core::NodeId next_hop);
-
-  core::NodeId self() const { return self_; }
-  LinkEstimator& estimator() { return estimator_; }
-  const LinkEstimator& estimator() const { return estimator_; }
-  std::size_t queue_length() const { return queue_.size() + ctrl_queue_.size(); }
-  std::size_t data_queue_length() const { return queue_.size(); }
-
-  // --- counters ---
-  std::uint64_t queue_drops() const { return queue_drops_; }
-  std::uint64_t attempt_exhausted_drops() const { return attempt_drops_; }
-  std::uint64_t energy_budget_drops() const { return budget_drops_; }
-  std::uint64_t transmissions() const { return transmissions_; }
-  std::uint64_t deliveries() const { return deliveries_; }
+ protected:
+  std::uint64_t slot_at(sim::Time t) override { return schedule_.slot_at(t); }
+  sim::Time slot_start(std::uint64_t slot) override {
+    return schedule_.slot_start(slot);
+  }
+  double slot_duration() override { return schedule_.slot_duration(); }
+  std::uint64_t next_owned_slot_from(std::uint64_t from_slot) override {
+    return schedule_.next_owned_slot_from(self_, from_slot);
+  }
 
  private:
-  struct Entry {
-    core::PacketPtr packet;
-    core::NodeId next_hop = core::kInvalidNode;
-    int attempts_done = 0;
-    int max_attempts = 0;  // fixed on first attempt
-  };
-
-  // Fixed-capacity FIFO ring: the transmit queue's bound is a protocol
-  // parameter (queue_capacity_packets), so the storage is allocated once
-  // at construction and enqueue/dequeue never touch the heap.
-  class TxRing {
-   public:
-    explicit TxRing(std::size_t capacity) : buf_(capacity) {}
-    bool full() const { return size_ == buf_.size(); }
-    bool empty() const { return size_ == 0; }
-    std::size_t size() const { return size_; }
-    Entry& front() { return buf_[head_]; }
-    void push_back(Entry&& e) {
-      buf_[(head_ + size_) % buf_.size()] = std::move(e);
-      ++size_;
-    }
-    void pop_front() {
-      buf_[head_] = Entry{};  // release the packet handle
-      head_ = (head_ + 1) % buf_.size();
-      --size_;
-    }
-
-   private:
-    std::vector<Entry> buf_;
-    std::size_t head_ = 0;
-    std::size_t size_ = 0;
-  };
-
-  void schedule_next_tx();
-  void transmit_head();
-  void finish_head(TxRing& q, bool delivered);
-  TxRing* current_queue();
-
-  sim::Simulator& sim_;
   const TdmaSchedule& schedule_;
-  phy::Channel& channel_;
-  phy::EnergyModel& energy_;
-  core::NodeId self_;
-  MacConfig cfg_;
-  LinkEstimator estimator_;
-
-  // Control traffic (ACKs) is transmitted before data: feedback keeps the
-  // rate controllers honest precisely when queues are backlogged, and an
-  // ACK stuck behind 50 data packets per hop arrives too stale to matter.
-  TxRing ctrl_queue_;
-  TxRing queue_;
-  bool tx_scheduled_ = false;
-  std::uint64_t min_slot_ = 0;  // earliest slot the next tx may use
-
-  PreXmitHook pre_xmit_;
-  DeliverHook deliver_;
-  AttemptBudgetTrace attempt_trace_;
-
-  std::uint64_t queue_drops_ = 0;
-  std::uint64_t attempt_drops_ = 0;
-  std::uint64_t budget_drops_ = 0;
-  std::uint64_t transmissions_ = 0;
-  std::uint64_t deliveries_ = 0;
 };
 
 }  // namespace jtp::mac

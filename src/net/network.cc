@@ -11,7 +11,6 @@ Network::Network(phy::Topology topology, NetworkConfig cfg)
       topo_(std::move(topology)),
       channel_(cfg.channel, sim::Rng(cfg.seed).derive("channel")),
       energy_(topo_.size(), cfg.radio),
-      schedule_(topo_.size(), cfg.slot_duration_s, cfg.seed ^ 0x7d3aULL),
       env_(sim_, pool_) {
   routing_ = std::make_unique<routing::LinkStateRouting>(sim_, topo_,
                                                          cfg.routing);
@@ -19,20 +18,26 @@ Network::Network(phy::Topology topology, NetworkConfig cfg)
     mobility_ = std::make_unique<phy::RandomWaypoint>(
         sim_, topo_, *cfg.mobility, rng_.derive("mobility"));
   }
-  macs_.reserve(topo_.size());
+  // The link layer comes from the registry: one fabric per run, one
+  // MacIface per node. MAC construction draws no randomness and schedules
+  // no events, so building all MACs before all Nodes is order-neutral.
+  const mac::MacContext mctx{sim_,     topo_,    channel_, energy_,
+                             cfg.slot_duration_s, cfg.seed, cfg.mac};
+  fabric_ = mac::MacRegistry::instance().info(cfg.mac_kind).factory->make(
+      mctx);
   nodes_.reserve(topo_.size());
   for (core::NodeId id = 0; id < topo_.size(); ++id) {
-    macs_.push_back(std::make_unique<mac::TdmaMac>(
-        sim_, schedule_, channel_, energy_, id, cfg.mac));
-    nodes_.push_back(std::make_unique<Node>(id, *macs_.back(), *routing_,
-                                            flows_, pool_, cfg.node));
+    nodes_.push_back(std::make_unique<Node>(id, fabric_->mac_of(id),
+                                            *routing_, flows_, pool_,
+                                            cfg.node));
   }
-  // Fabric: successful transmissions land at the destination node's stack.
-  for (auto& m : macs_) {
-    m->set_deliver([this](core::PacketPtr&& p, core::NodeId from,
-                          core::NodeId to) {
-      nodes_.at(to)->handle_delivery(std::move(p), from);
-    });
+  // Fabric delivery: successful transmissions land at the destination
+  // node's stack.
+  for (core::NodeId id = 0; id < topo_.size(); ++id) {
+    fabric_->mac_of(id).set_deliver(
+        [this](core::PacketPtr&& p, core::NodeId from, core::NodeId to) {
+          nodes_.at(to)->handle_delivery(std::move(p), from);
+        });
   }
 }
 
@@ -50,12 +55,12 @@ FlowHandle Network::add_flow(Proto proto, core::NodeId src, core::NodeId dst,
     throw std::invalid_argument("add_flow: endpoint out of range");
   const TransportInfo& info = TransportRegistry::instance().info(proto);
 
-  // Path facts for the factory's defaults: TDMA share, current hop count,
-  // and a pessimistic (with-retries) RTT estimate.
+  // Path facts for the factory's defaults: the MAC's per-node share,
+  // current hop count, and a pessimistic (with-retries) RTT estimate.
   PathInfo path;
-  path.node_capacity_pps = schedule_.node_capacity_pps();
+  path.node_capacity_pps = fabric_->node_capacity_pps();
   path.hops = routing_->hops(src, dst).value_or(1);
-  path.rtt_estimate_s = 2.0 * path.hops * schedule_.frame_duration() * 1.5;
+  path.rtt_estimate_s = 2.0 * path.hops * fabric_->frame_duration_s() * 1.5;
 
   const core::FlowId flow = allocate_flow(info.hop_policy);
   TransportEndpoints eps = info.factory->make(*this, flow, src, dst, opt,
@@ -101,17 +106,20 @@ void Network::run_until(double t) {
 
 std::uint64_t Network::total_queue_drops() const {
   std::uint64_t n = 0;
-  for (const auto& m : macs_) n += m->queue_drops();
+  for (core::NodeId i = 0; i < size(); ++i)
+    n += fabric_->mac_of(i).queue_drops();
   return n;
 }
 std::uint64_t Network::total_attempt_drops() const {
   std::uint64_t n = 0;
-  for (const auto& m : macs_) n += m->attempt_exhausted_drops();
+  for (core::NodeId i = 0; i < size(); ++i)
+    n += fabric_->mac_of(i).attempt_exhausted_drops();
   return n;
 }
 std::uint64_t Network::total_energy_budget_drops() const {
   std::uint64_t n = 0;
-  for (const auto& m : macs_) n += m->energy_budget_drops();
+  for (core::NodeId i = 0; i < size(); ++i)
+    n += fabric_->mac_of(i).energy_budget_drops();
   return n;
 }
 std::uint64_t Network::total_cache_retransmissions() const {
@@ -121,7 +129,8 @@ std::uint64_t Network::total_cache_retransmissions() const {
 }
 std::uint64_t Network::total_transmissions() const {
   std::uint64_t n = 0;
-  for (const auto& m : macs_) n += m->transmissions();
+  for (core::NodeId i = 0; i < size(); ++i)
+    n += fabric_->mac_of(i).transmissions();
   return n;
 }
 std::uint64_t Network::total_route_drops() const {

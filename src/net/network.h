@@ -1,12 +1,14 @@
 // Network: owns the whole simulated system and wires flows onto it.
 //
 // One Network = one simulation run: simulator, topology, channel, energy
-// model, TDMA schedule, routing service, one MAC + Node per vertex, and
-// the transport endpoints attached to nodes. Flows attach through one
+// model, MAC fabric, routing service, one Node per vertex, and the
+// transport endpoints attached to nodes. Flows attach through one
 // polymorphic entry point — add_flow(proto, src, dst, opts) — which
-// resolves the protocol in the TransportRegistry; the Network itself
-// knows no protocol names. This is the "adaptation layer" through which
-// experiments and examples use the library.
+// resolves the protocol in the TransportRegistry; the link layer is
+// resolved the same way, through the MacRegistry keyed by
+// NetworkConfig::mac_kind. The Network itself knows no protocol or MAC
+// names. This is the "adaptation layer" through which experiments and
+// examples use the library.
 #pragma once
 
 #include <memory>
@@ -14,8 +16,7 @@
 #include <vector>
 
 #include "core/transport.h"
-#include "mac/tdma_mac.h"
-#include "mac/tdma_schedule.h"
+#include "mac/registry.h"
 #include "net/node.h"
 #include "net/sim_env.h"
 #include "net/transport.h"
@@ -33,6 +34,7 @@ struct NetworkConfig {
   std::uint64_t seed = 1;
   phy::ChannelConfig channel;
   phy::RadioConfig radio;
+  mac::Mac mac_kind = mac::Mac::kTdma;  // which registered MAC to build
   mac::MacConfig mac;
   routing::RoutingConfig routing;
   NodeConfig node;
@@ -64,9 +66,9 @@ class Network {
   phy::Channel& channel() { return channel_; }
   phy::EnergyModel& energy() { return energy_; }
   routing::LinkStateRouting& routing() { return *routing_; }
-  const mac::TdmaSchedule& schedule() const { return schedule_; }
+  const mac::MacFabric& mac_fabric() const { return *fabric_; }
   Node& node(core::NodeId id) { return *nodes_.at(id); }
-  mac::TdmaMac& mac_of(core::NodeId id) { return *macs_.at(id); }
+  mac::MacIface& mac_of(core::NodeId id) { return fabric_->mac_of(id); }
   std::size_t size() const { return nodes_.size(); }
   sim::Rng& rng() { return rng_; }
   const NetworkConfig& config() const { return cfg_; }
@@ -95,12 +97,11 @@ class Network {
   phy::Topology topo_;
   phy::Channel channel_;
   phy::EnergyModel energy_;
-  mac::TdmaSchedule schedule_;
   std::unique_ptr<routing::LinkStateRouting> routing_;
   std::unique_ptr<phy::RandomWaypoint> mobility_;
   SimEnv env_;
   FlowTable flows_;
-  std::vector<std::unique_ptr<mac::TdmaMac>> macs_;
+  std::unique_ptr<mac::MacFabric> fabric_;
   std::vector<std::unique_ptr<Node>> nodes_;
   bool started_ = false;
 

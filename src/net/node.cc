@@ -5,7 +5,7 @@
 
 namespace jtp::net {
 
-Node::Node(core::NodeId id, mac::TdmaMac& mac,
+Node::Node(core::NodeId id, mac::MacIface& mac,
            const routing::LinkStateRouting& routing, const FlowTable& flows,
            core::PacketPool& pool, NodeConfig cfg)
     : id_(id),

@@ -18,7 +18,7 @@
 #include "core/packet.h"
 #include "core/packet_pool.h"
 #include "core/types.h"
-#include "mac/tdma_mac.h"
+#include "mac/mac.h"
 #include "routing/link_state.h"
 
 namespace jtp::net {
@@ -62,14 +62,14 @@ class Node final : public core::PacketSink {
  public:
   // `pool` is the simulation's packet pool (cache retransmissions clone
   // cached headers into fresh slots); it must outlive the node.
-  Node(core::NodeId id, mac::TdmaMac& mac,
+  Node(core::NodeId id, mac::MacIface& mac,
        const routing::LinkStateRouting& routing, const FlowTable& flows,
        core::PacketPool& pool, NodeConfig cfg = {});
 
   core::NodeId id() const { return id_; }
   core::IjtpModule& ijtp() { return ijtp_; }
   const core::IjtpModule& ijtp() const { return ijtp_; }
-  mac::TdmaMac& mac() { return mac_; }
+  mac::MacIface& mac() { return mac_; }
 
   // PacketSink: local endpoints and the forwarding path inject here.
   // Packets move by pooled handle end to end (zero copies per hop).
@@ -98,7 +98,7 @@ class Node final : public core::PacketSink {
                                 core::Joules tx_energy, bool first_attempt);
 
   core::NodeId id_;
-  mac::TdmaMac& mac_;
+  mac::MacIface& mac_;
   const routing::LinkStateRouting& routing_;
   const FlowTable& flows_;
   core::PacketPool& pool_;

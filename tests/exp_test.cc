@@ -222,6 +222,10 @@ TEST(ScenarioSpecParse, EveryKeyRoundTrips) {
   s.slot_duration_s = 0.05;
   s.routing_refresh_s = 2.5;
   s.seed = 1234;
+  s.mac = mac::Mac::kCsma;
+  s.csma_min_be = 2;
+  s.csma_max_be = 6;
+  s.csma_max_backoffs = 5;
   s.workload.kind = WorkloadKind::kPoisson;
   s.workload.n_flows = 7;
   s.workload.transfer_packets = 33;
@@ -235,6 +239,44 @@ TEST(ScenarioSpecParse, EveryKeyRoundTrips) {
   const auto r = parse_scenario(to_string(s));
   ASSERT_TRUE(r.ok()) << r.error;
   EXPECT_EQ(r.spec, s);
+}
+
+TEST(ScenarioSpecParse, MacKeysRoundTrip) {
+  ScenarioSpec s;
+  s.mac = mac::Mac::kTdmaReuse;
+  s.reuse_margin = 1.5;
+  const auto r = parse_scenario(to_string(s));
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.spec, s);
+  EXPECT_EQ(r.spec.mac, mac::Mac::kTdmaReuse);
+  EXPECT_DOUBLE_EQ(r.spec.reuse_margin, 1.5);
+}
+
+TEST(ScenarioSpecParse, RejectsMacFamilyMismatches) {
+  // Unknown (or non-CLI) MAC names.
+  EXPECT_FALSE(parse_scenario("mac=aloha").ok());
+  EXPECT_FALSE(parse_scenario("mac=ext").ok());  // extension slot: API-only
+  // Family cross-talk: tuning a discipline the spec does not select.
+  EXPECT_FALSE(parse_scenario("reuse_margin=1.5").ok());
+  EXPECT_FALSE(parse_scenario("mac=csma,reuse_margin=1.5").ok());
+  EXPECT_FALSE(parse_scenario("mac=tdma,min_be=2").ok());
+  EXPECT_FALSE(parse_scenario("mac=tdma_reuse,max_backoffs=2").ok());
+  // Internally inconsistent CSMA windows and out-of-range values.
+  EXPECT_FALSE(parse_scenario("mac=csma,min_be=6,max_be=4").ok());
+  EXPECT_FALSE(parse_scenario("mac=csma,min_be=11").ok());
+  EXPECT_FALSE(parse_scenario("reuse_margin=0.5").ok());  // below 1
+  // The valid forms of the same keys.
+  EXPECT_TRUE(parse_scenario("mac=tdma_reuse,reuse_margin=1.5").ok());
+  EXPECT_TRUE(parse_scenario("mac=csma,min_be=2,max_be=6").ok());
+  EXPECT_TRUE(parse_scenario("mac=tdma").ok());
+}
+
+TEST(ScenarioBuild, RejectsCrossFamilyKnobsFromCode) {
+  // build() re-validates: programmatic specs cannot smuggle a tuned knob
+  // past the parser.
+  auto sc = quiet();
+  sc.reuse_margin = 2.0;  // but mac stays kTdma
+  EXPECT_THROW(build(sc), std::invalid_argument);
 }
 
 TEST(ScenarioSpecParse, PresetsRoundTrip) {

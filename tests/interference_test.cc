@@ -1,0 +1,187 @@
+// Safety and accounting of the 2-hop interference coloring behind the
+// spatial-reuse TDMA MAC.
+//
+// The property that makes slot reuse collision-free: no two nodes that
+// could interfere at any receiver share a color. The tests pin it with a
+// brute-force conflict oracle on random fields (including translated
+// fields with negative coordinates and post-churn layouts), plus the two
+// analytic extremes — a clique needs n colors (reuse factor exactly 1)
+// and a sparse chain needs exactly 3 (reuse > 1).
+#include "mac/interference.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "mac/reuse_tdma.h"
+#include "phy/topology.h"
+#include "sim/random.h"
+
+namespace jtp::mac {
+namespace {
+
+// Brute-force oracle for the conflict relation the coloring must respect.
+bool conflicts_bf(const phy::Topology& topo, core::NodeId a, core::NodeId b,
+                  double margin) {
+  const double r = topo.radio_range();
+  if (phy::distance(topo.position(a), topo.position(b)) <=
+      std::max(margin, 1.0) * r)
+    return true;
+  for (core::NodeId w = 0; w < topo.size(); ++w) {
+    if (w == a || w == b) continue;
+    if (phy::distance(topo.position(a), topo.position(w)) <= r &&
+        phy::distance(topo.position(b), topo.position(w)) <= r)
+      return true;
+  }
+  return false;
+}
+
+void expect_proper(const phy::Topology& topo, const Coloring& c,
+                   double margin) {
+  ASSERT_EQ(c.color.size(), topo.size());
+  std::uint32_t max_seen = 0;
+  for (core::NodeId a = 0; a < topo.size(); ++a) {
+    max_seen = std::max(max_seen, c.color[a]);
+    for (core::NodeId b = a + 1; b < topo.size(); ++b) {
+      if (conflicts_bf(topo, a, b, margin)) {
+        EXPECT_NE(c.color[a], c.color[b])
+            << "nodes " << a << " and " << b << " interfere yet share color "
+            << c.color[a];
+      }
+    }
+  }
+  EXPECT_EQ(c.colors_used, static_cast<std::size_t>(max_seen) + 1);
+}
+
+phy::Topology random_field(std::size_t n, double side, std::uint64_t seed) {
+  sim::Rng rng(seed);
+  auto prng = rng.derive("placement");
+  return phy::Topology::random_connected(n, side, 40.0, prng);
+}
+
+TEST(InterferenceColoring, SafeOnRandomFields) {
+  for (std::uint64_t seed : {1ULL, 7ULL, 42ULL, 1234ULL}) {
+    auto topo = random_field(60, 250.0, seed);
+    expect_proper(topo, color_interference(topo, 1.0), 1.0);
+  }
+}
+
+TEST(InterferenceColoring, SafeUnderWidenedCarrierMargin) {
+  auto topo = random_field(50, 220.0, 9);
+  for (double margin : {1.0, 1.5, 2.0, 3.0})
+    expect_proper(topo, color_interference(topo, margin), margin);
+}
+
+TEST(InterferenceColoring, TranslationInvariantAcrossNegativeCoords) {
+  // The conflict graph only depends on pairwise distances, so shifting
+  // the whole field — across the origin, into negative coordinates —
+  // must reproduce the identical coloring (this also pins the grid's
+  // negative-coordinate cell packing).
+  auto topo = random_field(40, 200.0, 5);
+  phy::Topology shifted = topo;
+  for (core::NodeId i = 0; i < topo.size(); ++i) {
+    const auto p = topo.position(i);
+    shifted.set_position(i, {p.x - 137.5, p.y - 212.25});
+  }
+  const auto a = color_interference(topo, 1.0);
+  const auto b = color_interference(shifted, 1.0);
+  expect_proper(shifted, b, 1.0);
+  EXPECT_EQ(a.color, b.color);
+  EXPECT_EQ(a.colors_used, b.colors_used);
+}
+
+TEST(InterferenceColoring, SafeAfterChurn) {
+  auto topo = random_field(50, 220.0, 11);
+  sim::Rng rng(99);
+  for (int round = 0; round < 5; ++round) {
+    for (int moves = 0; moves < 10; ++moves) {
+      const auto id =
+          static_cast<core::NodeId>(rng.integer(topo.size()));
+      const auto p = topo.position(id);
+      topo.set_position(id, {p.x + rng.uniform(-30.0, 30.0),
+                             p.y + rng.uniform(-30.0, 30.0)});
+    }
+    expect_proper(topo, color_interference(topo, 1.0), 1.0);
+  }
+}
+
+TEST(InterferenceColoring, CliqueNeedsNColors) {
+  // Everyone within everyone's range: no reuse is possible, the frame
+  // degenerates to classic TDMA and the reuse factor is exactly 1.
+  constexpr std::size_t kN = 12;
+  phy::Topology topo(kN, 40.0);
+  sim::Rng rng(3);
+  for (core::NodeId i = 0; i < kN; ++i)
+    topo.set_position(i, {rng.uniform(0.0, 10.0), rng.uniform(0.0, 10.0)});
+  const auto c = color_interference(topo, 1.0);
+  expect_proper(topo, c, 1.0);
+  EXPECT_EQ(c.colors_used, kN);
+
+  ReuseSchedule sched(topo, 0.01, 7, 1.0);
+  const MacStats st = sched.stats();
+  EXPECT_EQ(st.colors_used, kN);
+  EXPECT_EQ(st.max_color, kN - 1);
+  EXPECT_DOUBLE_EQ(st.reuse_factor, 1.0);
+}
+
+TEST(InterferenceColoring, SparseChainNeedsThreeColors) {
+  // 30 m spacing, 40 m range: only adjacent nodes hear each other, and
+  // nodes two apart share a witness — the conflict graph is the cube of
+  // a path, which greedy colors with exactly 3. Far-apart nodes reuse
+  // slots, so the reuse factor beats 1.
+  const auto topo = phy::Topology::linear(12, 30.0, 40.0);
+  const auto c = color_interference(topo, 1.0);
+  expect_proper(topo, c, 1.0);
+  EXPECT_EQ(c.colors_used, 3u);
+
+  ReuseSchedule sched(topo, 0.01, 7, 1.0);
+  const MacStats st = sched.stats();
+  EXPECT_EQ(st.colors_used, 3u);
+  EXPECT_DOUBLE_EQ(st.reuse_factor, 4.0);
+  EXPECT_GT(st.reuse_factor, 1.0);
+}
+
+TEST(ReuseSchedule, RecolorsOnlyWhenTopologyGenerationChanges) {
+  auto topo = random_field(30, 180.0, 21);
+  ReuseSchedule sched(topo, 0.01, 7, 1.0);
+  EXPECT_EQ(sched.stats().recolors, 1u);  // the construction-time coloring
+  sched.ensure();
+  sched.ensure();
+  EXPECT_EQ(sched.stats().recolors, 1u);  // no churn => no recolor
+  const auto p = topo.position(4);
+  topo.set_position(4, {p.x + 5.0, p.y});
+  EXPECT_EQ(sched.stats().recolors, 2u);  // stats() itself ensures
+  EXPECT_EQ(sched.stats().recolors, 2u);
+}
+
+TEST(ReuseSchedule, SlotTimesAreFrameIndependent) {
+  // slot_start is pure slot arithmetic: a recolor that changes the frame
+  // length must not move slot boundaries (in-flight MAC timers rely on
+  // this).
+  auto topo = random_field(30, 180.0, 23);
+  ReuseSchedule sched(topo, 0.01, 7, 1.0);
+  EXPECT_DOUBLE_EQ(sched.slot_start(17), 0.17);
+  const auto p = topo.position(2);
+  topo.set_position(2, {p.x + 40.0, p.y});
+  sched.ensure();
+  EXPECT_DOUBLE_EQ(sched.slot_start(17), 0.17);
+  EXPECT_EQ(sched.slot_at(0.171), 17u);
+  EXPECT_THROW(sched.slot_at(-0.01), std::invalid_argument);
+}
+
+TEST(ReuseSchedule, OwnedSlotsFollowColors) {
+  const auto topo = phy::Topology::linear(9, 30.0, 40.0);
+  ReuseSchedule sched(topo, 0.01, 7, 1.0);
+  // Nodes 0 and 3 are 90 m apart — independent, same color under the
+  // 3-coloring of the chain; they own exactly the same slots.
+  EXPECT_EQ(sched.color_of(0), sched.color_of(3));
+  for (std::uint64_t from : {0ULL, 5ULL, 100ULL})
+    EXPECT_EQ(sched.next_owned_slot_from(0, from),
+              sched.next_owned_slot_from(3, from));
+  // Conflicting neighbors never share a slot.
+  EXPECT_NE(sched.color_of(0), sched.color_of(1));
+  EXPECT_THROW(sched.color_of(99), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace jtp::mac

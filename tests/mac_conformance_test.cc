@@ -1,0 +1,249 @@
+// Cross-MAC conformance suite: the behavioural contract every registered
+// MAC discipline must honor, parameterized over MacRegistry's contents.
+//
+// mac/mac.h defines the seam (queue/attempt/retry state machine, pre-xmit
+// and delivery hooks, LinkEstimator feed, drop counters); these tests pin
+// it once for all registrants — classic TDMA, spatial-reuse TDMA, and
+// CSMA/CA today, plus anything registered tomorrow: a new MAC passes this
+// suite or it does not ship. The last test exercises the extension seam
+// itself by registering a discipline under Mac::kExt at runtime.
+#include "mac/registry.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/packet_pool.h"
+#include "exp/scenario.h"
+#include "exp/workload.h"
+#include "mac/mac.h"
+#include "phy/channel.h"
+#include "phy/energy_model.h"
+#include "phy/topology.h"
+#include "sim/random.h"
+#include "sim/simulator.h"
+
+namespace jtp::mac {
+namespace {
+
+// A fabric built straight from the registry — the same path Network
+// takes — on a small linear field.
+struct FabricRig {
+  explicit FabricRig(Mac m, double loss = 0.0, std::size_t n = 2,
+                     MacConfig mc = {})
+      : topo(phy::Topology::linear(n, 30.0, 40.0)),
+        channel(make_channel_cfg(loss), sim::Rng(3)),
+        energy(n, {}) {
+    const MacContext ctx{sim, topo, channel, energy, /*slot=*/0.01,
+                         /*seed=*/7, mc};
+    fabric = MacRegistry::instance().info(m).factory->make(ctx);
+    for (core::NodeId id = 0; id < n; ++id)
+      fabric->mac_of(id).set_deliver(
+          [](core::PacketPtr&&, core::NodeId, core::NodeId) {});
+  }
+  static phy::ChannelConfig make_channel_cfg(double loss) {
+    phy::ChannelConfig c;
+    c.fading_enabled = false;
+    c.loss_good = loss;
+    return c;
+  }
+  core::PacketPtr data(core::SeqNo seq = 0) {
+    core::PacketPtr p = pool.make();
+    p->type = core::PacketType::kData;
+    p->flow = 1;
+    p->src = 0;
+    p->dst = 1;
+    p->seq = seq;
+    return p;
+  }
+  core::PacketPtr ack_packet() {
+    core::PacketPtr p = pool.make();
+    p->type = core::PacketType::kAck;
+    p->ack = core::AckHeader{};
+    p->flow = 1;
+    p->src = 0;
+    p->dst = 1;
+    return p;
+  }
+
+  core::PacketPool pool;  // before sim: pending events hold handles
+  sim::Simulator sim;
+  phy::Topology topo;
+  phy::Channel channel;
+  phy::EnergyModel energy;
+  std::unique_ptr<MacFabric> fabric;
+};
+
+class MacConformance : public ::testing::TestWithParam<Mac> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMacs, MacConformance,
+    ::testing::ValuesIn(MacRegistry::instance().macs()),
+    [](const ::testing::TestParamInfo<Mac>& info) {
+      return mac_name(info.param);
+    });
+
+TEST_P(MacConformance, DeliversOverLosslessLink) {
+  FabricRig r(GetParam());
+  int delivered = 0;
+  r.fabric->mac_of(0).set_deliver(
+      [&](core::PacketPtr&& p, core::NodeId from, core::NodeId to) {
+        EXPECT_EQ(from, 0u);
+        EXPECT_EQ(to, 1u);
+        EXPECT_EQ(p->seq, 0u);
+        ++delivered;
+      });
+  r.fabric->mac_of(0).enqueue(r.data(), 1);
+  r.sim.run_until(2.0);
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(r.fabric->mac_of(0).deliveries(), 1u);
+  EXPECT_EQ(r.fabric->mac_of(0).transmissions(), 1u);
+}
+
+TEST_P(MacConformance, RetryAccountingMatchesEstimatorFeed) {
+  // Every transmission fails: each of the k packets must burn exactly the
+  // default attempt budget, be counted as an attempt-exhausted drop, and
+  // feed the LinkEstimator a per-packet attempt count equal to that
+  // budget — the per-link statistics transports rate their hops with.
+  constexpr int kPackets = 3;
+  FabricRig r(GetParam(), /*loss=*/1.0);
+  auto& m = r.fabric->mac_of(0);
+  for (core::SeqNo s = 0; s < kPackets; ++s) m.enqueue(r.data(s), 1);
+  r.sim.run_until(10.0);
+  const auto budget =
+      static_cast<std::uint64_t>(MacConfig{}.default_max_attempts);
+  EXPECT_EQ(m.transmissions(), kPackets * budget);
+  EXPECT_EQ(m.attempt_exhausted_drops(), kPackets);
+  EXPECT_EQ(m.deliveries(), 0u);
+  EXPECT_DOUBLE_EQ(m.estimator().avg_attempts(1),
+                   static_cast<double>(budget));
+  EXPECT_GT(m.estimator().loss_rate(1), 0.5);
+}
+
+TEST_P(MacConformance, PreXmitDropIsHonored) {
+  // A pre-xmit veto (the energy-budget hook) must suppress the
+  // transmission entirely: no air time, no sender energy, one
+  // energy-budget drop.
+  FabricRig r(GetParam());
+  auto& m = r.fabric->mac_of(0);
+  m.set_pre_xmit([](core::Packet&, core::NodeId, const core::LinkView&,
+                    core::Joules, bool) -> PreXmitDecision {
+    return {true, 0};
+  });
+  m.enqueue(r.data(), 1);
+  r.sim.run_until(2.0);
+  EXPECT_EQ(m.transmissions(), 0u);
+  EXPECT_EQ(m.deliveries(), 0u);
+  EXPECT_EQ(m.energy_budget_drops(), 1u);
+  EXPECT_DOUBLE_EQ(r.energy.total_energy(), 0.0);
+}
+
+TEST_P(MacConformance, QueueFullDropsAndReportsFailure) {
+  MacConfig mc;
+  mc.queue_capacity_packets = 3;
+  FabricRig r(GetParam(), 0.0, 2, mc);
+  auto& m = r.fabric->mac_of(0);
+  for (core::SeqNo s = 0; s < 3; ++s) EXPECT_TRUE(m.enqueue(r.data(s), 1));
+  EXPECT_FALSE(m.enqueue(r.data(3), 1));
+  EXPECT_FALSE(m.enqueue(r.data(4), 1));
+  EXPECT_EQ(m.queue_drops(), 2u);
+  EXPECT_EQ(m.queue_length(), 3u);
+  // Control traffic has its own queue and must still get in.
+  EXPECT_TRUE(m.enqueue(r.ack_packet(), 1));
+}
+
+TEST_P(MacConformance, ControlTrafficBypassesDataBacklog) {
+  FabricRig r(GetParam());
+  std::vector<bool> order;  // true = ack
+  r.fabric->mac_of(0).set_deliver(
+      [&](core::PacketPtr&& p, core::NodeId, core::NodeId) {
+        order.push_back(p->is_ack());
+      });
+  for (core::SeqNo s = 0; s < 10; ++s)
+    r.fabric->mac_of(0).enqueue(r.data(s), 1);
+  r.fabric->mac_of(0).enqueue(r.ack_packet(), 1);
+  r.sim.run_until(2.0);
+  ASSERT_GE(order.size(), 3u);
+  EXPECT_TRUE(order[0] || order[1])
+      << "ACK queued behind the full data backlog";
+}
+
+// ---- end-to-end conformance through the scenario layer -------------------
+
+exp::ScenarioSpec chain_spec(Mac m) {
+  auto spec = exp::preset("linear");
+  spec.net_size = 4;
+  spec.fading = false;
+  spec.loss_good = 0.0;
+  spec.mac = m;
+  spec.workload.kind = exp::WorkloadKind::kEnds;
+  spec.workload.n_flows = 1;
+  spec.workload.transfer_packets = 30;
+  return spec;
+}
+
+TEST_P(MacConformance, MultiHopBurstDeliversEndToEnd) {
+  // A 30-packet transfer across a 3-hop chain must complete under every
+  // discipline: queueing, per-hop retransmission, and delivery hand-off
+  // compose across nodes, not just on one link.
+  auto s = exp::build(chain_spec(GetParam()));
+  s.network->run_until(120.0);
+  const auto metrics = s.flows->collect(120.0);
+  EXPECT_EQ(metrics.delivered_packets, 30u);
+  ASSERT_EQ(s.flows->flows().size(), 1u);
+  EXPECT_GE(s.flows->flows()[0]->completed_at, 0.0)
+      << "transfer never completed";
+  EXPECT_EQ(metrics.queue_drops + metrics.attempt_drops, 0u);
+}
+
+TEST_P(MacConformance, PinnedSeedRunsAreBitStable) {
+  // Same spec, same seed => byte-identical metrics, per MAC. This is the
+  // foundation of the committed-baseline CSVs and the --jobs determinism
+  // gate; a MAC that draws from a shared RNG stream breaks it.
+  auto spec = chain_spec(GetParam());
+  spec.seed = 4242;
+  spec.fading = true;  // exercise the channel's random process too
+  spec.loss_good = 0.05;
+  spec.workload.loss_tolerance = 0.1;
+  auto run = [&] {
+    auto s = exp::build(spec);
+    s.network->run_until(60.0);
+    return s.flows->collect(60.0);
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a.delivered_packets, b.delivered_packets);
+  EXPECT_EQ(a.data_packets_sent, b.data_packets_sent);
+  EXPECT_EQ(a.transmissions, b.transmissions);
+  EXPECT_EQ(a.queue_drops, b.queue_drops);
+  EXPECT_EQ(a.attempt_drops, b.attempt_drops);
+  EXPECT_EQ(a.acks_sent, b.acks_sent);
+  EXPECT_EQ(a.delivered_payload_bits, b.delivered_payload_bits);
+  EXPECT_EQ(a.total_energy_j, b.total_energy_j);  // exact, not NEAR
+}
+
+// ---- the extension seam itself -------------------------------------------
+
+TEST(MacRegistryExtension, RuntimeRegistrationUnderExtSlot) {
+  auto& reg = MacRegistry::instance();
+  ASSERT_FALSE(reg.registered(Mac::kExt));
+  EXPECT_THROW(reg.info(Mac::kExt), std::invalid_argument);
+
+  // Register a discipline under the experiment slot — here TDMA's own
+  // factory; a real experiment would supply its own fabric.
+  reg.add({Mac::kExt, reg.info(Mac::kTdma).factory});
+  EXPECT_TRUE(reg.registered(Mac::kExt));
+  EXPECT_THROW(reg.add({Mac::kExt, reg.info(Mac::kTdma).factory}),
+               std::invalid_argument);
+
+  // kExt stays off the CLI surface but builds and runs like any builtin.
+  EXPECT_FALSE(parse_mac("ext").has_value());
+  auto spec = chain_spec(Mac::kExt);
+  auto s = exp::build(spec);
+  s.network->run_until(120.0);
+  EXPECT_EQ(s.flows->collect(120.0).delivered_packets, 30u);
+}
+
+}  // namespace
+}  // namespace jtp::mac
