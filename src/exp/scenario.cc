@@ -331,10 +331,14 @@ std::string fmt_double(double v) {
 // only on non-default values — to_string() always emits every key, and
 // the round-trip contract must hold for every valid spec.
 std::string validate_spec(const ScenarioSpec& s) {
-  if (s.mac != mac::Mac::kTdmaReuse && s.reuse_margin != 1.0)
+  // "Non-default" is measured against the default-constructed spec, so
+  // this check can never drift from the knobs' real defaults.
+  const ScenarioSpec d;
+  if (s.mac != mac::Mac::kTdmaReuse && s.reuse_margin != d.reuse_margin)
     return "scenario: reuse_margin requires mac=tdma_reuse";
   if (s.mac != mac::Mac::kCsma &&
-      (s.csma_min_be != 3 || s.csma_max_be != 5 || s.csma_max_backoffs != 4))
+      (s.csma_min_be != d.csma_min_be || s.csma_max_be != d.csma_max_be ||
+       s.csma_max_backoffs != d.csma_max_backoffs))
     return "scenario: min_be/max_be/max_backoffs require mac=csma";
   if (s.csma_min_be > s.csma_max_be)
     return "scenario: min_be must be <= max_be";

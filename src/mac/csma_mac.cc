@@ -4,35 +4,40 @@
 
 namespace jtp::mac {
 
-void CsmaMedium::prune(sim::Time before) const {
-  active_.erase(std::remove_if(active_.begin(), active_.end(),
-                               [before](const Tx& t) {
-                                 return t.end <= before;
-                               }),
-                active_.end());
-}
-
-void CsmaMedium::begin_tx(core::NodeId sender, sim::Time start,
-                          sim::Time end) {
-  prune(start);
-  active_.push_back(Tx{sender, start, end});
+CsmaMedium::TxId CsmaMedium::begin_tx(core::NodeId sender,
+                                      core::NodeId receiver, sim::Time start,
+                                      sim::Time end) {
+  Tx tx{next_id_++, sender, receiver, start, end, /*collided=*/false};
+  // Every record started no later than `start`, so overlap reduces to the
+  // foreign frame still being in the air when this one begins. Frames
+  // ending exactly at `start` (finish event pending this timestamp) do
+  // not overlap the half-open [start, end).
+  for (Tx& t : active_) {
+    if (t.sender == sender || start >= t.end) continue;
+    if (topo_.in_range(t.sender, receiver)) tx.collided = true;
+    if (topo_.in_range(sender, t.receiver)) t.collided = true;
+  }
+  active_.push_back(tx);
+  return tx.id;
 }
 
 bool CsmaMedium::busy(core::NodeId listener, sim::Time now) const {
-  prune(now);
   for (const Tx& t : active_)
     if (t.start <= now && now < t.end && topo_.in_range(t.sender, listener))
       return true;
   return false;
 }
 
-bool CsmaMedium::collided(core::NodeId receiver, core::NodeId sender,
-                          sim::Time start, sim::Time end) const {
-  prune(start);
-  for (const Tx& t : active_)
-    if (t.sender != sender && t.start < end && start < t.end &&
-        topo_.in_range(t.sender, receiver))
-      return true;
+bool CsmaMedium::finish_tx(TxId id) {
+  for (Tx& t : active_) {
+    if (t.id != id) continue;
+    const bool collided = t.collided;
+    // Swap-remove: busy()/begin_tx() reduce over the whole list, so
+    // record order never affects a verdict.
+    t = active_.back();
+    active_.pop_back();
+    return collided;
+  }
   return false;
 }
 
@@ -79,9 +84,14 @@ void CsmaMac::attempt_transmit() {
     be_ = std::min(be_ + 1, cfg_.csma.max_be);
     if (nb_ > cfg_.csma.max_backoffs) {
       // Channel-access failure: the contention budget is spent, the
-      // packet is lost locally just like an exhausted retry budget.
+      // packet is lost locally just like an exhausted retry budget. Only
+      // attempts that actually hit the air feed the estimator — a packet
+      // dropped before its first transmission records nothing.
       ++attempt_drops_;
-      finish_head(q, /*delivered=*/false);
+      Entry& e = q.front();
+      if (e.attempts_done > 0)
+        estimator_.record_packet(e.next_hop, e.attempts_done);
+      q.pop_front();
       next_cycle();
       return;
     }
@@ -120,21 +130,22 @@ void CsmaMac::attempt_transmit() {
                      energy_.airtime_s(e.packet->size_bits());
   const sim::Time start = sim_.now();
   const sim::Time end = start + air;
-  medium_.begin_tx(self_, start, end);
-  // Fading loss is drawn now; the collision verdict waits for the
-  // transmission to finish (a hidden terminal may start mid-air). The
-  // head ring is captured here: an ACK enqueued while this data frame is
-  // in the air must not redirect the completion to the control ring.
+  const CsmaMedium::TxId txid = medium_.begin_tx(self_, e.next_hop, start, end);
+  // Fading loss is drawn now; the collision verdict accumulates on the
+  // medium record (a hidden terminal may start mid-air) and is read when
+  // the transmission finishes. The head ring is captured here: an ACK
+  // enqueued while this data frame is in the air must not redirect the
+  // completion to the control ring.
   const bool lost_ch = channel_.transmission_lost(self_, e.next_hop, start);
-  sim_.schedule(air, [this, qp, start, end, lost_ch] {
-    finish_tx(qp, start, end, lost_ch);
+  sim_.schedule(air, [this, qp, txid, lost_ch] {
+    finish_tx(qp, txid, lost_ch);
   });
 }
 
-void CsmaMac::finish_tx(TxRing* q, sim::Time start, sim::Time end,
-                        bool lost_ch) {
+void CsmaMac::finish_tx(TxRing* q, CsmaMedium::TxId txid, bool lost_ch) {
+  const bool collided = medium_.finish_tx(txid);
   Entry& e = q->front();
-  const bool lost = lost_ch || medium_.collided(e.next_hop, self_, start, end);
+  const bool lost = lost_ch || collided;
   estimator_.record_attempt(e.next_hop, lost);
 
   if (!lost) {

@@ -8,8 +8,9 @@
 // the packet. Carrier sense is physical: a CSMA medium shared by the
 // fabric tracks in-flight transmissions against the topology, so hidden
 // terminals are real — two transmitters out of carrier range of each
-// other can still collide at a common receiver, detected at transmission
-// end. Every attempt (including retries) is charged to the energy layer
+// other can still collide at a common receiver; the verdict is decided
+// the moment two frames overlap and read back at transmission end.
+// Every attempt (including retries) is charged to the energy layer
 // individually, matching the ns-3 802.15.4 energy exemplar where cost is
 // unitEnergy · (retries + 1).
 #pragma once
@@ -25,30 +26,45 @@ namespace jtp::mac {
 
 // The shared carrier: one per fabric. Tracks active transmissions so CCA
 // and collision checks are range queries against the topology.
+//
+// Collisions are decided eagerly: when a frame starts, it and every
+// overlapping in-flight frame mark each other collided if the foreign
+// sender is audible at the victim's receiver. A record lives exactly as
+// long as its transmission — begin_tx registers it, finish_tx releases
+// it — so an interferer that ends before its victim can never be
+// forgotten by the time the victim's verdict is read.
 class CsmaMedium {
  public:
+  using TxId = std::uint64_t;
+
   explicit CsmaMedium(const phy::Topology& topo) : topo_(topo) {}
 
-  void begin_tx(core::NodeId sender, sim::Time start, sim::Time end);
+  // Registers a frame in flight from `sender` toward `receiver` over
+  // [start, end) and resolves collisions against every overlapping
+  // active frame, in both directions.
+  TxId begin_tx(core::NodeId sender, core::NodeId receiver, sim::Time start,
+                sim::Time end);
 
   // CCA: is any in-flight transmission audible at `listener` now?
   bool busy(core::NodeId listener, sim::Time now) const;
 
-  // Did a foreign transmission audible at `receiver` overlap [start, end)?
-  // Decides the fate of `sender`'s transmission at its end.
-  bool collided(core::NodeId receiver, core::NodeId sender, sim::Time start,
-                sim::Time end) const;
+  // Releases the record and returns whether the frame was collided at
+  // its receiver. Called exactly once, at the transmission's end.
+  bool finish_tx(TxId id);
 
  private:
   struct Tx {
+    TxId id = 0;
     core::NodeId sender = core::kInvalidNode;
+    core::NodeId receiver = core::kInvalidNode;
     sim::Time start = 0.0;
     sim::Time end = 0.0;
+    bool collided = false;
   };
-  void prune(sim::Time before) const;
 
   const phy::Topology& topo_;
-  mutable std::vector<Tx> active_;
+  TxId next_id_ = 0;
+  std::vector<Tx> active_;
 };
 
 class CsmaMac final : public MacBase {
@@ -67,7 +83,7 @@ class CsmaMac final : public MacBase {
  private:
   void start_backoff();
   void attempt_transmit();
-  void finish_tx(TxRing* q, sim::Time start, sim::Time end, bool lost_ch);
+  void finish_tx(TxRing* q, CsmaMedium::TxId txid, bool lost_ch);
   void next_cycle();
 
   CsmaMedium& medium_;

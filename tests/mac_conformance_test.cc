@@ -17,6 +17,7 @@
 #include "core/packet_pool.h"
 #include "exp/scenario.h"
 #include "exp/workload.h"
+#include "mac/csma_mac.h"
 #include "mac/mac.h"
 #include "phy/channel.h"
 #include "phy/energy_model.h"
@@ -223,16 +224,69 @@ TEST_P(MacConformance, PinnedSeedRunsAreBitStable) {
   EXPECT_EQ(a.total_energy_j, b.total_energy_j);  // exact, not NEAR
 }
 
+// ---- the shared medium's collision bookkeeping ---------------------------
+
+// linear(3, 30, 40): 0 and 2 both hear 1 but not each other — the
+// canonical hidden-terminal pair.
+
+TEST(CsmaMedium, EarlyEndingHiddenTerminalStillCollides) {
+  // Regression: an interferer that started first and left the air before
+  // the victim's frame ended used to be pruned from the medium by any
+  // intervening CCA, so the victim's end-of-frame verdict missed it.
+  phy::Topology topo = phy::Topology::linear(3, 30.0, 40.0);
+  ASSERT_TRUE(topo.in_range(2, 1));
+  ASSERT_FALSE(topo.in_range(2, 0));  // hidden from the victim's sender
+  CsmaMedium medium(topo);
+
+  const auto interferer = medium.begin_tx(2, 1, 0.0, 0.4);
+  const auto victim = medium.begin_tx(0, 1, 0.2, 1.0);
+  // Both frames are garbled at the common receiver, whichever ends first.
+  EXPECT_TRUE(medium.finish_tx(interferer));
+  EXPECT_FALSE(medium.busy(0, 0.5));  // CCA must not erase the verdict
+  EXPECT_TRUE(medium.finish_tx(victim));
+}
+
+TEST(CsmaMedium, BackToBackOrInaudibleFramesDoNotCollide) {
+  phy::Topology topo = phy::Topology::linear(3, 30.0, 40.0);
+  CsmaMedium medium(topo);
+
+  // Half-open intervals: a frame ending exactly when the next begins
+  // does not overlap it.
+  const auto a = medium.begin_tx(2, 1, 0.0, 0.2);
+  const auto b = medium.begin_tx(0, 1, 0.2, 0.4);
+  EXPECT_FALSE(medium.finish_tx(a));
+  EXPECT_FALSE(medium.finish_tx(b));
+
+  // Overlapping but inaudible at the victim's receiver: 2 cannot reach 0.
+  const auto victim = medium.begin_tx(1, 0, 1.0, 2.0);
+  medium.begin_tx(2, 1, 1.5, 1.8);
+  EXPECT_FALSE(medium.finish_tx(victim));
+}
+
+TEST(CsmaMedium, CcaTracksAudibleInFlightFramesOnly) {
+  phy::Topology topo = phy::Topology::linear(3, 30.0, 40.0);
+  CsmaMedium medium(topo);
+  const auto tx = medium.begin_tx(0, 1, 0.0, 1.0);
+  EXPECT_TRUE(medium.busy(1, 0.5));
+  EXPECT_FALSE(medium.busy(2, 0.5));  // out of carrier range
+  EXPECT_FALSE(medium.busy(1, 1.0));  // half-open: gone at its end time
+  medium.finish_tx(tx);
+  EXPECT_FALSE(medium.busy(1, 0.5));  // record released with the frame
+}
+
 // ---- the extension seam itself -------------------------------------------
 
 TEST(MacRegistryExtension, RuntimeRegistrationUnderExtSlot) {
   auto& reg = MacRegistry::instance();
-  ASSERT_FALSE(reg.registered(Mac::kExt));
-  EXPECT_THROW(reg.info(Mac::kExt), std::invalid_argument);
-
-  // Register a discipline under the experiment slot — here TDMA's own
-  // factory; a real experiment would supply its own fabric.
-  reg.add({Mac::kExt, reg.info(Mac::kTdma).factory});
+  // The registry is process-wide, so a prior pass (--gtest_repeat) may
+  // already have registered kExt; the fresh-slot assertions only apply
+  // the first time through.
+  if (!reg.registered(Mac::kExt)) {
+    EXPECT_THROW(reg.info(Mac::kExt), std::invalid_argument);
+    // Register a discipline under the experiment slot — here TDMA's own
+    // factory; a real experiment would supply its own fabric.
+    reg.add({Mac::kExt, reg.info(Mac::kTdma).factory});
+  }
   EXPECT_TRUE(reg.registered(Mac::kExt));
   EXPECT_THROW(reg.add({Mac::kExt, reg.info(Mac::kTdma).factory}),
                std::invalid_argument);
