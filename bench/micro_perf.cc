@@ -301,6 +301,36 @@ void BM_CsmaBackoff(benchmark::State& state) {
 BENCHMARK(BM_CsmaBackoff);
 
 // ---------------------------------------------------------------------------
+// The sharded event loop end to end: the scale preset (100-node random
+// field, fan-in workload, spatial-reuse TDMA) split across K shards.
+// Items = packets delivered end-to-end, identical for every K by the
+// determinism guarantee; the Arg(1) row is the classic single-loop
+// baseline, so the K>1 rows price the shard runner (mailboxes, horizon
+// rounds, worker handoff). Wall-clock speedup over Arg(1) requires K
+// free cores; on a single core the K>1 rows show pure overhead.
+// ---------------------------------------------------------------------------
+
+void BM_ShardedDelivery(benchmark::State& state) {
+  std::uint64_t delivered = 0;
+  for (auto _ : state) {
+    auto spec = exp::preset("scale");
+    spec.net_size = 100;
+    spec.seed = 1;
+    spec.shards = static_cast<std::size_t>(state.range(0));
+    auto s = exp::build(spec);
+    s.network->run_until(30.0);
+    delivered += s.flows->collect(30.0).delivered_packets;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(delivered));
+  state.counters["pkts"] = static_cast<double>(delivered);
+}
+BENCHMARK(BM_ShardedDelivery)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
 // Cost of the polymorphic core::TransportReceiver interface on the
 // per-packet delivery path (PR: transport/scenario API redesign). The
 // node's handlers now hold a base pointer, so every delivered packet pays
@@ -312,15 +342,17 @@ BENCHMARK(BM_CsmaBackoff);
 class NullEnv final : public core::Env {
  public:
   double now() const override { return 0.0; }
-  core::TimerId schedule(double, std::function<void()>) override {
+  core::TimerId schedule_fn(double, sim::SmallFn) override {
     return ++next_id_;  // timers never fire in this kernel
   }
   void cancel(core::TimerId) override {}
   core::PacketPool& packet_pool() override { return pool_; }
+  sim::SpillPool& spill_pool() override { return spill_; }
 
  private:
   core::TimerId next_id_ = 0;
   core::PacketPool pool_;
+  sim::SpillPool spill_;
 };
 
 class NullSink final : public core::PacketSink {

@@ -17,8 +17,10 @@
 //
 // Wall-clock columns are machine-dependent, so this bench is excluded
 // from the committed-baseline suite (like micro_perf). --deterministic
-// drops those columns, leaving a byte-stable CSV that CI diffs across
-// --jobs values.
+// drops those columns — and the shard-count-dependent diagnostics
+// (total events, per-shard routing row stats, pool high-waters) —
+// leaving a byte-stable CSV that CI diffs across --jobs AND --shards
+// values: the sharded event loop must not change a single result bit.
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -37,6 +39,10 @@ struct ScaleRun {
   double wall_s = 0.0;
   double events = 0.0;
   double delivered = 0.0;
+  double transmissions = 0.0;
+  double queue_drops = 0.0;
+  double attempt_drops = 0.0;
+  double cache_rtx = 0.0;
   double colors = 0.0;
   double reuse = 1.0;
   double refreshes = 0.0;
@@ -61,8 +67,12 @@ ScaleRun one_run(exp::ScenarioSpec spec, std::size_t n, std::uint64_t seed,
   const auto ms = s.network->mac_fabric().stats();
   ScaleRun r;
   r.wall_s = wall.count();
-  r.events = static_cast<double>(s.network->simulator().events_executed());
+  r.events = static_cast<double>(s.network->total_events_executed());
   r.delivered = static_cast<double>(m.delivered_packets);
+  r.transmissions = static_cast<double>(m.transmissions);
+  r.queue_drops = static_cast<double>(m.queue_drops);
+  r.attempt_drops = static_cast<double>(m.attempt_drops);
+  r.cache_rtx = static_cast<double>(m.cache_retransmissions);
   r.colors = static_cast<double>(ms.colors_used);
   r.reuse = ms.reuse_factor;
   r.refreshes = static_cast<double>(rs.refreshes);
@@ -112,6 +122,7 @@ int main(int argc, char** argv) {
   auto base = defaults;
   bench::apply_scenario(opt, base);
   base.proto = opt.proto_or(base.proto);
+  if (opt.shards) base.shards = *opt.shards;
   const auto sizes = bench::sweep_or<std::size_t>(
       base.net_size, defaults.net_size,
       opt.full ? std::vector<std::size_t>{100, 400, 1000}
@@ -127,7 +138,14 @@ int main(int argc, char** argv) {
   for (const mac::Mac m : macs) {
     auto spec = base;
     spec.mac = m;
+    // CSMA's shared carrier cannot shard; run it on the classic loop so
+    // the MAC sweep stays complete under --shards N.
+    if (m == mac::Mac::kCsma) spec.shards = 1;
 
+    // Deterministic mode keeps only shard-count-invariant results: what
+    // the simulation computed, never how the work was split (per-shard
+    // control-plane replicas skew event totals, row stats and pool
+    // high-waters, all of which stay visible in the normal mode).
     std::vector<sim::Column> cols{{"net_size", 0}};
     if (!deterministic) cols.push_back({"wall_s", 2, true});
     cols.push_back({"pkts", 0});
@@ -135,15 +153,21 @@ int main(int argc, char** argv) {
       cols.push_back({"pkts_per_wall_s", 0});
       cols.push_back({"kevt_per_wall_s", 0});
     }
-    for (const auto& c : std::vector<sim::Column>{{"colors", 0},
+    for (const auto& c : std::vector<sim::Column>{{"xmits", 0},
+                                                  {"queue_drops", 0},
+                                                  {"attempt_drops", 0},
+                                                  {"cache_rtx", 0},
+                                                  {"colors", 0},
                                                   {"reuse", 2},
                                                   {"refreshes", 0},
-                                                  {"snapshots", 0},
-                                                  {"rows_built", 0},
-                                                  {"row_reuses", 0},
-                                                  {"ev_pool_hw", 0},
-                                                  {"pkt_pool_hw", 0}})
+                                                  {"snapshots", 0}})
       cols.push_back(c);
+    if (!deterministic)
+      for (const auto& c : std::vector<sim::Column>{{"rows_built", 0},
+                                                    {"row_reuses", 0},
+                                                    {"ev_pool_hw", 0},
+                                                    {"pkt_pool_hw", 0}})
+        cols.push_back(c);
     auto rep = bench::make_report(opt, "mac=" + mac::mac_name(m),
                                   std::move(cols), 16, mac::mac_name(m));
     rep.begin();
@@ -169,14 +193,20 @@ int main(int argc, char** argv) {
         row.push_back(wall > 0 ? pkts / wall : 0.0);
         row.push_back(wall > 0 ? events / wall / 1e3 : 0.0);
       }
+      row.push_back(mean_of(runs, &ScaleRun::transmissions));
+      row.push_back(mean_of(runs, &ScaleRun::queue_drops));
+      row.push_back(mean_of(runs, &ScaleRun::attempt_drops));
+      row.push_back(mean_of(runs, &ScaleRun::cache_rtx));
       row.push_back(mean_of(runs, &ScaleRun::colors));
       row.push_back(mean_of(runs, &ScaleRun::reuse));
       row.push_back(mean_of(runs, &ScaleRun::refreshes));
       row.push_back(mean_of(runs, &ScaleRun::snapshots));
-      row.push_back(mean_of(runs, &ScaleRun::rows_built));
-      row.push_back(mean_of(runs, &ScaleRun::row_reuses));
-      row.push_back(mean_of(runs, &ScaleRun::event_pool_hw));
-      row.push_back(mean_of(runs, &ScaleRun::packet_pool_hw));
+      if (!deterministic) {
+        row.push_back(mean_of(runs, &ScaleRun::rows_built));
+        row.push_back(mean_of(runs, &ScaleRun::row_reuses));
+        row.push_back(mean_of(runs, &ScaleRun::event_pool_hw));
+        row.push_back(mean_of(runs, &ScaleRun::packet_pool_hw));
+      }
       rep.row(row);
     }
     bench::finish_report(rep);

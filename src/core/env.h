@@ -8,10 +8,11 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
+#include <utility>
 
 #include "core/packet.h"
 #include "core/packet_pool.h"
+#include "sim/small_fn.h"
 
 namespace jtp::core {
 
@@ -25,18 +26,30 @@ class Env {
  public:
   virtual ~Env() = default;
   virtual double now() const = 0;
-  // Hot-path convention: endpoint timer callables must capture no more
-  // than `this` (every in-tree transport does). schedule() is a virtual
-  // seam, so the callable is type-erased through std::function here; a
-  // capture within its small-object buffer (16 bytes in libstdc++)
-  // stays allocation-free end to end (the std::function itself then
-  // fits the simulator's SmallFn inline storage), while a larger one
-  // would heap-allocate per timer *before* the event pool ever sees it
-  // — invisibly to the pool stats. Keep timer state in the endpoint
-  // object, not the capture.
-  virtual TimerId schedule(double delay_s, std::function<void()> fn) = 0;
+  // Timer callables used to cross this seam as std::function, whose
+  // 16-byte small-object buffer forced a heap allocation for any timer
+  // capturing more than `this` — before the event pool ever saw the
+  // callable, invisibly to the pool stats. schedule() is now a template
+  // forwarder: the callable is type-erased once, directly into the
+  // host's sim::SmallFn storage (48 inline bytes, SpillPool behind it),
+  // so every in-tree transport timer is allocation-free end to end.
+  // The virtual seam underneath is schedule_fn().
+  template <typename F>
+  TimerId schedule(double delay_s, F&& fn) {
+    return schedule_fn(delay_s,
+                       sim::SmallFn(std::forward<F>(fn), spill_pool()));
+  }
   virtual void cancel(TimerId id) = 0;
   virtual PacketPool& packet_pool() = 0;
+
+  // The spill pool schedule() builds its SmallFn against; must be the
+  // same pool the host's event storage releases into (the Simulator's
+  // callback spill pool, for the simulator-backed Env).
+  virtual sim::SpillPool& spill_pool() = 0;
+
+  // Virtual seam under schedule(): host-specific timer arming for an
+  // already-type-erased callable.
+  virtual TimerId schedule_fn(double delay_s, sim::SmallFn fn) = 0;
 };
 
 // Where an end-point hands packets for transmission (the node's network

@@ -22,22 +22,29 @@ FlowManager::FlowHandle& FlowManager::create(core::NodeId src,
   auto handle = std::make_unique<FlowHandle>();
   static_cast<net::FlowHandle&>(*handle) =
       net_.add_flow(proto_, src, dst, opt);
-  handle->start_time = net_.simulator().now() + start_delay_s;
+  const double start_at = net_.now() + start_delay_s;
+  handle->start_time = start_at;
   handle->total_packets = total_packets;
 
   auto* snd = handle->sender;
   auto* rcv = handle->receiver;
   // Teardown: once the source has everything acknowledged, silence the
   // receiver's feedback machinery (connection close analogue) and record
-  // the completion time for goodput accounting.
-  snd->set_on_complete([this, rcv, h = handle.get()] {
-    h->completed_at = net_.simulator().now();
-    rcv->stop();
+  // the completion time for goodput accounting. The close runs on the
+  // receiver's side one slot later (the minimum cross-shard handoff; the
+  // same delay applies under one shard for shard-count invariance).
+  snd->set_on_complete([this, rcv, src, dst, h = handle.get()] {
+    h->completed_at = net_.now_at(src);
+    net_.defer_from_to(src, dst, net_.slot_duration_s(),
+                       [rcv] { rcv->stop(); });
   });
-  net_.simulator().schedule(start_delay_s, [snd, rcv, total_packets] {
-    rcv->start();
-    snd->start(total_packets);
-  });
+  // Each endpoint starts in its own shard, as its own node (the receiver
+  // first: its handlers must be armed when the first data packet lands,
+  // and under one shard the receiver-start event keeps its historical
+  // place ahead of the sender-start event at the same instant).
+  net_.schedule_at_node(dst, start_at, [rcv] { rcv->start(); });
+  net_.schedule_at_node(src, start_at,
+                        [snd, total_packets] { snd->start(total_packets); });
 
   flows_.push_back(std::move(handle));
   return *flows_.back();
@@ -46,8 +53,8 @@ FlowManager::FlowHandle& FlowManager::create(core::NodeId src,
 RunMetrics FlowManager::collect(double duration_s) const {
   RunMetrics m;
   m.duration_s = duration_s;
-  m.total_energy_j = net_.energy().total_energy();
-  m.per_node_energy_j = net_.energy().per_node();
+  m.total_energy_j = net_.total_energy();
+  m.per_node_energy_j = net_.per_node_energy();
   m.queue_drops = net_.total_queue_drops();
   m.attempt_drops = net_.total_attempt_drops();
   m.energy_budget_drops = net_.total_energy_budget_drops();

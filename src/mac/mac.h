@@ -86,6 +86,14 @@ using DeliverHook = std::function<void(core::PacketPtr&&, core::NodeId from,
                                        core::NodeId to)>;
 using AttemptBudgetTrace =
     std::function<void(sim::Time, const core::Packet&, int max_attempts)>;
+// Delivery scheduling seam for the sharded runner: instead of the MAC
+// scheduling its own +delay event and invoking the deliver hook, it
+// hands (delay, packet, from, to) to the network, which routes the
+// event to the shard owning `to` (and charges the receive energy on
+// that shard at execution time). When unset, the MAC keeps the legacy
+// single-simulator path.
+using DeliveryDispatch = std::function<void(
+    double delay_s, core::PacketPtr&&, core::NodeId from, core::NodeId to)>;
 
 // One node's MAC. Everything the net/ layer (Node, Network) and the
 // transport hooks touch goes through this interface; the conformance
@@ -102,6 +110,9 @@ class MacIface {
   virtual void set_pre_xmit(PreXmitHook hook) = 0;
   virtual void set_deliver(DeliverHook hook) = 0;
   virtual void set_attempt_trace(AttemptBudgetTrace t) = 0;
+  // Optional (default no-op): MACs that support shard-routed delivery
+  // override this. See mac::DeliveryDispatch.
+  virtual void set_dispatch(DeliveryDispatch) {}
 
   // Queues a packet for `next_hop`. Returns false (and counts a queue
   // drop) when the queue is full; the dropped packet's slot is recycled.

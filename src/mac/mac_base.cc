@@ -101,7 +101,6 @@ void SlottedMac::transmit_head() {
   estimator_.record_attempt(e.next_hop, lost);
 
   if (!lost) {
-    energy_.charge_rx(e.next_hop, e.packet->size_bits());
     // The handle moves out of the queue entry and rides the delivery
     // event; no packet bytes are copied on a successful hop.
     core::PacketPtr delivered = std::move(e.packet);
@@ -109,10 +108,19 @@ void SlottedMac::transmit_head() {
     const core::NodeId to = e.next_hop;
     finish_head(q, /*delivered=*/true);
     // Hand to the fabric at the end of the slot (one airtime later).
-    sim_.schedule(slot_duration(), [this, p = std::move(delivered), from,
-                                    to]() mutable {
-      if (deliver_) deliver_(std::move(p), from, to);
-    });
+    if (dispatch_) {
+      // Shard-routed path: the network schedules the delivery on the
+      // shard owning `to` and charges the receive energy there, at
+      // delivery-execution time (the receiver's accounting must live
+      // with the receiver's state).
+      dispatch_(slot_duration(), std::move(delivered), from, to);
+    } else {
+      energy_.charge_rx(to, delivered->size_bits());
+      sim_.schedule(slot_duration(), [this, p = std::move(delivered), from,
+                                      to]() mutable {
+        if (deliver_) deliver_(std::move(p), from, to);
+      });
+    }
   } else if (e.attempts_done >= e.max_attempts) {
     // Attempt budget exhausted: local loss. Recovery, if the application
     // wants it, happens via SNACK + caches or the source (paper §4).

@@ -29,6 +29,7 @@ class MacBase : public MacIface {
   void set_attempt_trace(AttemptBudgetTrace t) override {
     attempt_trace_ = std::move(t);
   }
+  void set_dispatch(DeliveryDispatch d) override { dispatch_ = std::move(d); }
 
   bool enqueue(core::PacketPtr p, core::NodeId next_hop) override;
 
@@ -108,6 +109,7 @@ class MacBase : public MacIface {
   PreXmitHook pre_xmit_;
   DeliverHook deliver_;
   AttemptBudgetTrace attempt_trace_;
+  DeliveryDispatch dispatch_;
 
   std::uint64_t queue_drops_ = 0;
   std::uint64_t attempt_drops_ = 0;

@@ -5,43 +5,151 @@
 
 namespace jtp::net {
 
+Network::Shard::Shard(const NetworkConfig& cfg, const phy::Topology& topo)
+    : channel(cfg.channel, sim::Rng(cfg.seed).derive("channel")),
+      energy(topo.size(), cfg.radio),
+      routing(std::make_unique<routing::LinkStateRouting>(sim, topo,
+                                                         cfg.routing)),
+      env(sim, pool) {
+  // The link layer comes from the registry: one fabric per shard, one
+  // MacIface per node. MAC construction draws no randomness and
+  // schedules no events, and the TDMA schedule/coloring is a pure
+  // function of seed and topology — every shard's replica is identical,
+  // and only the MACs of nodes the shard owns ever run.
+  const mac::MacContext mctx{sim,     topo,    channel, energy,
+                             cfg.slot_duration_s, cfg.seed, cfg.mac};
+  fabric = mac::MacRegistry::instance().info(cfg.mac_kind).factory->make(
+      mctx);
+}
+
 Network::Network(phy::Topology topology, NetworkConfig cfg)
-    : cfg_(cfg),
-      rng_(cfg.seed),
-      topo_(std::move(topology)),
-      channel_(cfg.channel, sim::Rng(cfg.seed).derive("channel")),
-      energy_(topo_.size(), cfg.radio),
-      env_(sim_, pool_) {
-  routing_ = std::make_unique<routing::LinkStateRouting>(sim_, topo_,
-                                                         cfg.routing);
+    : cfg_(cfg), rng_(cfg.seed), topo_(std::move(topology)) {
+  const std::size_t want = cfg.shards == 0 ? 1 : cfg.shards;
+  if (want > 1) {
+    if (cfg.mobility)
+      throw std::invalid_argument(
+          "Network: shards > 1 requires a static topology (no mobility)");
+    if (cfg.mac_kind == mac::Mac::kCsma)
+      throw std::invalid_argument(
+          "Network: shards > 1 is not supported with the CSMA MAC "
+          "(shared carrier)");
+  }
+  // Spatially contiguous strips: cross-shard traffic only crosses strip
+  // boundaries, so almost all deliveries stay on the owning shard's
+  // zero-alloc pipeline. May yield fewer shards than asked for.
+  phy::Partition part = phy::partition_strips(topo_, want);
+  shard_of_ = std::move(part.assignment);
+  shards_.reserve(part.shard_count);
+  for (std::size_t s = 0; s < part.shard_count; ++s)
+    shards_.push_back(std::make_unique<Shard>(cfg_, topo_));
+
   if (cfg.mobility) {
     mobility_ = std::make_unique<phy::RandomWaypoint>(
-        sim_, topo_, *cfg.mobility, rng_.derive("mobility"));
+        shards_[0]->sim, topo_, *cfg.mobility, rng_.derive("mobility"));
   }
-  // The link layer comes from the registry: one fabric per run, one
-  // MacIface per node. MAC construction draws no randomness and schedules
-  // no events, so building all MACs before all Nodes is order-neutral.
-  const mac::MacContext mctx{sim_,     topo_,    channel_, energy_,
-                             cfg.slot_duration_s, cfg.seed, cfg.mac};
-  fabric_ = mac::MacRegistry::instance().info(cfg.mac_kind).factory->make(
-      mctx);
   nodes_.reserve(topo_.size());
   for (core::NodeId id = 0; id < topo_.size(); ++id) {
-    nodes_.push_back(std::make_unique<Node>(id, fabric_->mac_of(id),
-                                            *routing_, flows_, pool_,
+    Shard& sh = shard_at(id);
+    nodes_.push_back(std::make_unique<Node>(id, sh.fabric->mac_of(id),
+                                            *sh.routing, flows_, sh.pool,
                                             cfg.node));
   }
   // Fabric delivery: successful transmissions land at the destination
-  // node's stack.
+  // node's stack. The dispatch seam routes the delivery event to the
+  // destination's shard (and under K = 1 degenerates to the same-shard
+  // path); the plain deliver hook remains for MACs that do not take the
+  // seam (CSMA).
   for (core::NodeId id = 0; id < topo_.size(); ++id) {
-    fabric_->mac_of(id).set_deliver(
+    mac::MacIface& m = mac_of(id);
+    m.set_deliver(
         [this](core::PacketPtr&& p, core::NodeId from, core::NodeId to) {
           nodes_.at(to)->handle_delivery(std::move(p), from);
         });
+    m.set_dispatch([this](double delay_s, core::PacketPtr&& p,
+                          core::NodeId from, core::NodeId to) {
+      dispatch_delivery(delay_s, std::move(p), from, to);
+    });
+  }
+  if (shards_.size() > 1) {
+    std::vector<sim::Simulator*> sims;
+    sims.reserve(shards_.size());
+    for (auto& sh : shards_) sims.push_back(&sh->sim);
+    sim::ShardedRunner::Config rcfg;
+    // A transmission decided at a slot start is handed over one slot
+    // later; deferred control handoffs use the same delay. Nothing
+    // crosses a shard boundary faster.
+    rcfg.lookahead = cfg_.slot_duration_s;
+    runner_ = std::make_unique<sim::ShardedRunner>(std::move(sims), rcfg);
   }
 }
 
 Network::~Network() = default;
+
+void Network::dispatch_delivery(double delay_s, core::PacketPtr&& p,
+                                core::NodeId from, core::NodeId to) {
+  const std::size_t sf = shard_of_[from];
+  const std::size_t st = shard_of_[to];
+  sim::Simulator& ssim = shards_[sf]->sim;
+  // The tie comes from the stream of whatever owner is executing (the
+  // sender's transmit event): that owner's draw history is identical
+  // for every shard count, so so is the key. The event executes as the
+  // receiver (exec_owner = to + 1): everything the receiving stack
+  // schedules draws from the receiver's stream.
+  const std::uint64_t tie = ssim.draw_tie(ssim.context());
+  const double at = ssim.now() + delay_s;
+  if (sf == st) {
+    ssim.at_keyed(at, tie, to + 1,
+                  [this, q = std::move(p), from, to]() mutable {
+                    execute_delivery(std::move(q), from, to);
+                  });
+    return;
+  }
+  // Cross-shard: the packet bytes move out of the sender shard's pool
+  // slot (recycled here, on the sender's thread) and ride the mailbox
+  // in a self-owned heap packet; the receiving shard re-pools them at
+  // execution time. Two allocations per boundary crossing, boundary
+  // crossings only.
+  auto payload = std::make_shared<core::Packet>(std::move(*p));
+  p.reset();
+  runner_->post(sf, st, at, tie, to + 1, [this, payload, from, to]() {
+    core::PacketPtr q = shards_[shard_of_[to]]->pool.make(
+        std::move(*payload));
+    execute_delivery(std::move(q), from, to);
+  });
+}
+
+void Network::execute_delivery(core::PacketPtr&& p, core::NodeId from,
+                               core::NodeId to) {
+  // Receive energy is charged at delivery execution, on the shard that
+  // owns the receiver's tally (shard-invariant accrual order: all of
+  // node `to`'s charges happen in its own shard's event order).
+  shard_at(to).energy.charge_rx(to, p->size_bits());
+  nodes_.at(to)->handle_delivery(std::move(p), from);
+}
+
+void Network::schedule_at_node(core::NodeId id, double at,
+                               std::function<void()> fn) {
+  sim::Simulator& s = shard_at(id).sim;
+  s.at_keyed(at, s.draw_tie(0), id + 1, std::move(fn));
+}
+
+void Network::defer_from_to(core::NodeId from, core::NodeId to, double delay,
+                            std::function<void()> fn) {
+  const std::size_t sf = shard_of_[from];
+  const std::size_t st = shard_of_[to];
+  sim::Simulator& ssim = shards_[sf]->sim;
+  const std::uint32_t owner = ssim.context();
+  const std::uint64_t tie = ssim.draw_tie(owner);
+  const double at = ssim.now() + delay;
+  if (sf == st) {
+    ssim.at_keyed(at, tie, owner, std::move(fn));
+    return;
+  }
+  if (delay < cfg_.slot_duration_s)
+    throw std::logic_error(
+        "defer_from_to: cross-shard delay below the lookahead");
+  runner_->post(sf, st, at, tie, owner, std::move(fn));
+}
 
 core::FlowId Network::allocate_flow(HopPolicy policy) {
   const core::FlowId id = next_flow_id_++;
@@ -57,10 +165,12 @@ FlowHandle Network::add_flow(Proto proto, core::NodeId src, core::NodeId dst,
 
   // Path facts for the factory's defaults: the MAC's per-node share,
   // current hop count, and a pessimistic (with-retries) RTT estimate.
+  // Shard 0's replicas answer; every shard's copies are identical.
   PathInfo path;
-  path.node_capacity_pps = fabric_->node_capacity_pps();
-  path.hops = routing_->hops(src, dst).value_or(1);
-  path.rtt_estimate_s = 2.0 * path.hops * fabric_->frame_duration_s() * 1.5;
+  path.node_capacity_pps = shards_[0]->fabric->node_capacity_pps();
+  path.hops = shards_[0]->routing->hops(src, dst).value_or(1);
+  path.rtt_estimate_s =
+      2.0 * path.hops * shards_[0]->fabric->frame_duration_s() * 1.5;
 
   const core::FlowId flow = allocate_flow(info.hop_policy);
   TransportEndpoints eps = info.factory->make(*this, flow, src, dst, opt,
@@ -92,7 +202,7 @@ FlowHandle Network::add_flow(Proto proto, core::NodeId src, core::NodeId dst,
 void Network::run_until(double t) {
   if (!started_) {
     started_ = true;
-    routing_->start();
+    for (auto& sh : shards_) sh->routing->start();
     if (mobility_) {
       mobility_->start();
       // Keep routes reasonably fresh under motion: the periodic link-state
@@ -101,25 +211,29 @@ void Network::run_until(double t) {
       // what Fig. 11 measures).
     }
   }
-  sim_.run_until(t);
+  if (runner_) {
+    runner_->run_until(t);
+  } else {
+    shards_[0]->sim.run_until(t);
+  }
 }
 
 std::uint64_t Network::total_queue_drops() const {
   std::uint64_t n = 0;
   for (core::NodeId i = 0; i < size(); ++i)
-    n += fabric_->mac_of(i).queue_drops();
+    n += shards_[shard_of_[i]]->fabric->mac_of(i).queue_drops();
   return n;
 }
 std::uint64_t Network::total_attempt_drops() const {
   std::uint64_t n = 0;
   for (core::NodeId i = 0; i < size(); ++i)
-    n += fabric_->mac_of(i).attempt_exhausted_drops();
+    n += shards_[shard_of_[i]]->fabric->mac_of(i).attempt_exhausted_drops();
   return n;
 }
 std::uint64_t Network::total_energy_budget_drops() const {
   std::uint64_t n = 0;
   for (core::NodeId i = 0; i < size(); ++i)
-    n += fabric_->mac_of(i).energy_budget_drops();
+    n += shards_[shard_of_[i]]->fabric->mac_of(i).energy_budget_drops();
   return n;
 }
 std::uint64_t Network::total_cache_retransmissions() const {
@@ -130,13 +244,32 @@ std::uint64_t Network::total_cache_retransmissions() const {
 std::uint64_t Network::total_transmissions() const {
   std::uint64_t n = 0;
   for (core::NodeId i = 0; i < size(); ++i)
-    n += fabric_->mac_of(i).transmissions();
+    n += shards_[shard_of_[i]]->fabric->mac_of(i).transmissions();
   return n;
 }
 std::uint64_t Network::total_route_drops() const {
   std::uint64_t n = 0;
   for (const auto& nd : nodes_) n += nd->route_drops();
   return n;
+}
+std::uint64_t Network::total_events_executed() const {
+  std::uint64_t n = 0;
+  for (const auto& sh : shards_) n += sh->sim.events_executed();
+  return n;
+}
+
+core::Joules Network::node_energy(core::NodeId id) const {
+  return shards_[shard_of_.at(id)]->energy.node_energy(id);
+}
+core::Joules Network::total_energy() const {
+  core::Joules j = 0.0;
+  for (core::NodeId i = 0; i < size(); ++i) j += node_energy(i);
+  return j;
+}
+std::vector<core::Joules> Network::per_node_energy() const {
+  std::vector<core::Joules> v(size());
+  for (core::NodeId i = 0; i < size(); ++i) v[i] = node_energy(i);
+  return v;
 }
 
 }  // namespace jtp::net

@@ -9,6 +9,27 @@
 // NetworkConfig::mac_kind. The Network itself knows no protocol or MAC
 // names. This is the "adaptation layer" through which experiments and
 // examples use the library.
+//
+// Sharded execution (NetworkConfig::shards > 1): the node set is cut
+// into spatially contiguous strips (phy::partition_strips) and each
+// strip gets a full per-shard simulation bundle — packet pool,
+// Simulator, Channel, EnergyModel, routing view, SimEnv, MAC fabric —
+// run in parallel by a sim::ShardedRunner with lookahead equal to the
+// slot duration (a transmission decided in one slot is delivered one
+// slot later, so no cross-shard influence can travel faster). Node i's
+// entire stack (MAC queue, timers, packets, energy tally) lives in
+// shard_of(i); same-shard deliveries use the existing zero-alloc
+// pipeline unchanged, cross-shard deliveries are re-pooled through the
+// runner's mailboxes. Channel fading and loss streams are keyed per
+// link, the TDMA schedule is a pure function of seed and topology, and
+// event tie-break keys are drawn per owning node — so results are
+// byte-identical for every shard count, K = 1 included (K = 1 builds no
+// runner and collapses to the plain single-threaded loop).
+//
+// Restrictions under shards > 1: no mobility (the topology would be
+// written concurrently) and not the CSMA MAC (its carrier is a shared
+// medium). The effective shard count can be lower than requested when
+// the field is narrower than K radio ranges — see shard_count().
 #pragma once
 
 #include <memory>
@@ -23,9 +44,11 @@
 #include "phy/channel.h"
 #include "phy/energy_model.h"
 #include "phy/mobility.h"
+#include "phy/partition.h"
 #include "phy/topology.h"
 #include "routing/link_state.h"
 #include "sim/random.h"
+#include "sim/sharded.h"
 #include "sim/simulator.h"
 
 namespace jtp::net {
@@ -40,6 +63,9 @@ struct NetworkConfig {
   NodeConfig node;
   double slot_duration_s = 0.035;  // ~ one max-size packet airtime
   std::optional<phy::MobilityConfig> mobility;  // engaged => nodes move
+  // Parallel shards to run the event loop on (1 = classic serial loop).
+  // Requires a static topology and a non-CSMA MAC when > 1.
+  std::size_t shards = 1;
 };
 
 class Network {
@@ -58,20 +84,56 @@ class Network {
   FlowHandle add_flow(Proto proto, core::NodeId src, core::NodeId dst,
                       const FlowOptions& opt = {});
 
-  // --- access ---
-  sim::Simulator& simulator() { return sim_; }
-  core::Env& env() { return env_; }
-  core::PacketPool& packet_pool() { return pool_; }
+  // --- access (unqualified accessors answer from shard 0; under K = 1
+  // that is the whole simulation, and the replicated state — channel,
+  // routing view, MAC schedule — is identical in every shard) ---
+  sim::Simulator& simulator() { return shards_[0]->sim; }
+  core::Env& env() { return shards_[0]->env; }
+  core::PacketPool& packet_pool() { return shards_[0]->pool; }
   phy::Topology& topology() { return topo_; }
-  phy::Channel& channel() { return channel_; }
-  phy::EnergyModel& energy() { return energy_; }
-  routing::LinkStateRouting& routing() { return *routing_; }
-  const mac::MacFabric& mac_fabric() const { return *fabric_; }
+  phy::Channel& channel() { return shards_[0]->channel; }
+  phy::EnergyModel& energy() { return shards_[0]->energy; }
+  routing::LinkStateRouting& routing() { return *shards_[0]->routing; }
+  const mac::MacFabric& mac_fabric() const { return *shards_[0]->fabric; }
   Node& node(core::NodeId id) { return *nodes_.at(id); }
-  mac::MacIface& mac_of(core::NodeId id) { return fabric_->mac_of(id); }
+  // The MAC instance that owns node `id`'s queues and counters (its
+  // owning shard's fabric; under K = 1, the only fabric).
+  mac::MacIface& mac_of(core::NodeId id) {
+    return shard_at(id).fabric->mac_of(id);
+  }
   std::size_t size() const { return nodes_.size(); }
   sim::Rng& rng() { return rng_; }
   const NetworkConfig& config() const { return cfg_; }
+
+  // --- shard-aware access ---
+  std::size_t shard_count() const { return shards_.size(); }
+  std::size_t shard_of(core::NodeId id) const { return shard_of_.at(id); }
+  sim::Simulator& sim_for(core::NodeId id) { return shard_at(id).sim; }
+  core::Env& env_for(core::NodeId id) { return shard_at(id).env; }
+  double now_at(core::NodeId id) const {
+    return shards_[shard_of_.at(id)]->sim.now();
+  }
+  // Wall time outside a run (all shard clocks agree on run_until
+  // barriers; this is shard 0's clock).
+  double now() const { return shards_[0]->sim.now(); }
+  double slot_duration_s() const { return cfg_.slot_duration_s; }
+  // Cross-shard deliveries routed through the runner (0 under K = 1).
+  std::uint64_t cross_shard_messages() const {
+    return runner_ ? runner_->messages_posted() : 0;
+  }
+
+  // Schedules `fn` at absolute time `at` in node `id`'s shard, executing
+  // as that node (tie-break keys it draws come from the node's own
+  // stream, so the schedule is identical for every shard count). Call
+  // outside a run only (flow setup).
+  void schedule_at_node(core::NodeId id, double at, std::function<void()> fn);
+
+  // Schedules `fn` `delay` from now at node `to`'s shard, from code
+  // currently executing in node `from`'s shard. Safe during a run;
+  // `delay` must be >= the slot duration (the lookahead) when the nodes
+  // live in different shards.
+  void defer_from_to(core::NodeId from, core::NodeId to, double delay,
+                     std::function<void()> fn);
 
   // Starts routing refresh (and mobility if configured) and runs the
   // simulation until `t`.
@@ -84,25 +146,56 @@ class Network {
   std::uint64_t total_cache_retransmissions() const;
   std::uint64_t total_transmissions() const;
   std::uint64_t total_route_drops() const;
+  // Sum of events executed by every shard's simulator. Not comparable
+  // across shard counts (each shard replays its own control plane).
+  std::uint64_t total_events_executed() const;
+
+  // --- energy, aggregated shard-invariantly ---
+  // Node i is charged only in its owning shard, in the same event order
+  // for every K; summing per node in index order keeps the floating-
+  // point total byte-identical across shard counts.
+  core::Joules node_energy(core::NodeId id) const;
+  core::Joules total_energy() const;
+  std::vector<core::Joules> per_node_energy() const;
 
  private:
+  // One shard's full simulation bundle. The pool precedes the simulator:
+  // pending delivery events hold packet handles, and destroying the
+  // simulator releases them back into the pool (see sim_env.h).
+  struct Shard {
+    Shard(const NetworkConfig& cfg, const phy::Topology& topo);
+    core::PacketPool pool;
+    sim::Simulator sim;
+    phy::Channel channel;
+    phy::EnergyModel energy;
+    std::unique_ptr<routing::LinkStateRouting> routing;
+    SimEnv env;
+    std::unique_ptr<mac::MacFabric> fabric;
+  };
+
+  Shard& shard_at(core::NodeId id) { return *shards_[shard_of_.at(id)]; }
+
+  // MAC delivery seam: schedules the delivery event in `to`'s shard
+  // (charging the receive energy there at execution time) — same-shard
+  // through the zero-alloc pipeline, cross-shard through the runner.
+  void dispatch_delivery(double delay_s, core::PacketPtr&& p,
+                         core::NodeId from, core::NodeId to);
+  void execute_delivery(core::PacketPtr&& p, core::NodeId from,
+                        core::NodeId to);
+
   core::FlowId next_flow_id_ = 1;
 
   NetworkConfig cfg_;
-  // Declared before the simulator: pending delivery events own packet
-  // handles, and the pool must outlive them (see sim_env.h).
-  core::PacketPool pool_;
-  sim::Simulator sim_;
   sim::Rng rng_;
   phy::Topology topo_;
-  phy::Channel channel_;
-  phy::EnergyModel energy_;
-  std::unique_ptr<routing::LinkStateRouting> routing_;
+  std::vector<std::size_t> shard_of_;  // node -> owning shard
+  std::vector<std::unique_ptr<Shard>> shards_;
   std::unique_ptr<phy::RandomWaypoint> mobility_;
-  SimEnv env_;
   FlowTable flows_;
-  std::unique_ptr<mac::MacFabric> fabric_;
   std::vector<std::unique_ptr<Node>> nodes_;
+  // Declared after shards_ (it holds raw Simulator pointers) and before
+  // the endpoints; null under K = 1.
+  std::unique_ptr<sim::ShardedRunner> runner_;
   bool started_ = false;
 
   // Endpoint storage (stable addresses; destroyed before nodes/macs by

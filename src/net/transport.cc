@@ -56,9 +56,9 @@ class JtpFactory final : public TransportFactory {
 
     TransportEndpoints eps;
     eps.sender =
-        std::make_unique<core::EjtpSender>(net.env(), net.node(src), s);
+        std::make_unique<core::EjtpSender>(net.env_for(src), net.node(src), s);
     eps.receiver =
-        std::make_unique<core::EjtpReceiver>(net.env(), net.node(dst), r);
+        std::make_unique<core::EjtpReceiver>(net.env_for(dst), net.node(dst), r);
     return eps;
   }
 };
@@ -78,9 +78,9 @@ class TcpFactory final : public TransportFactory {
 
     TransportEndpoints eps;
     eps.sender = std::make_unique<baselines::TcpSackSender>(
-        net.env(), net.node(src), c);
+        net.env_for(src), net.node(src), c);
     eps.receiver = std::make_unique<baselines::TcpSackReceiver>(
-        net.env(), net.node(dst), c);
+        net.env_for(dst), net.node(dst), c);
     return eps;
   }
 };
@@ -101,9 +101,9 @@ class AtpFactory final : public TransportFactory {
 
     TransportEndpoints eps;
     eps.sender =
-        std::make_unique<baselines::AtpSender>(net.env(), net.node(src), c);
+        std::make_unique<baselines::AtpSender>(net.env_for(src), net.node(src), c);
     eps.receiver =
-        std::make_unique<baselines::AtpReceiver>(net.env(), net.node(dst), c);
+        std::make_unique<baselines::AtpReceiver>(net.env_for(dst), net.node(dst), c);
     return eps;
   }
 };

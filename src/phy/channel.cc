@@ -59,12 +59,22 @@ bool Channel::in_bad_state(core::NodeId a, core::NodeId b, sim::Time now) {
   return s.bad;
 }
 
+sim::Rng& Channel::loss_rng_for(core::NodeId a, core::NodeId b) {
+  const std::uint64_t key = (static_cast<std::uint64_t>(a) << 32) | b;
+  auto it = loss_.find(key);
+  if (it == loss_.end()) {
+    if (loss_.empty()) loss_.reserve(64);
+    it = loss_.emplace(key, master_.derive("loss", key)).first;
+  }
+  return it->second;
+}
+
 bool Channel::transmission_lost(core::NodeId a, core::NodeId b,
                                 sim::Time now) {
   LinkState& s = state_for(a, b);
   advance(s, now);
   const double p = (cfg_.fading_enabled && s.bad) ? cfg_.loss_bad : cfg_.loss_good;
-  return s.rng.bernoulli(p);
+  return loss_rng_for(a, b).bernoulli(p);
 }
 
 }  // namespace jtp::phy

@@ -41,6 +41,11 @@ class Channel {
   double mean_good_dwell_s() const;
 
  private:
+  // Dwell (fading) state of an undirected link. Its rng feeds *only*
+  // the flip timeline, so the sequence of (state, next_flip) pairs is a
+  // pure function of the link key and the clock — two Channel replicas
+  // (one per shard, under the sharded runner) advancing lazily at
+  // different query times still replay the identical timeline.
   struct LinkState {
     bool bad = false;
     sim::Time next_flip = 0.0;
@@ -48,6 +53,11 @@ class Channel {
   };
   LinkState& state_for(core::NodeId a, core::NodeId b);
   void advance(LinkState& s, sim::Time now);
+
+  // Per-attempt loss draws come from a separate stream keyed by the
+  // *directed* link: only the sender's shard ever draws (a -> b), so
+  // replicas never race on — or double-consume — a shared stream.
+  sim::Rng& loss_rng_for(core::NodeId a, core::NodeId b);
 
   ChannelConfig cfg_;
   sim::Rng master_;
@@ -58,6 +68,7 @@ class Channel {
   // query (idle links cost nothing) and derived from the master rng by
   // key, so creation order cannot perturb determinism.
   std::unordered_map<std::uint64_t, LinkState> links_;
+  std::unordered_map<std::uint64_t, sim::Rng> loss_;  // directed key
 };
 
 }  // namespace jtp::phy

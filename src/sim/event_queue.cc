@@ -48,7 +48,7 @@ EventQueue::Event EventQueue::pop() {
   Slot& s = slots_[idx];
   // The callback is moved out before the slot is recycled: executing it
   // may push new events, which can reuse (or reallocate) the slot.
-  Event ev{heap_[0].at, make_id(idx, s.gen), std::move(s.fn)};
+  Event ev{heap_[0].at, make_id(idx, s.gen), s.exec_owner, std::move(s.fn)};
   heap_remove(0);
   release_slot(idx);
   return ev;

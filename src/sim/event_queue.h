@@ -1,7 +1,14 @@
 // Discrete-event queue: pooled event slots indexed by a 4-ary min-heap.
 //
-// Events scheduled for the same instant fire in insertion order (FIFO),
-// which keeps simulations deterministic across runs and platforms.
+// Events are ordered by (time, tie-key). push() draws the tie from an
+// internal counter, so same-instant events fire in insertion order
+// (FIFO) — deterministic across runs and platforms. push_keyed() lets
+// the caller supply the tie explicitly; the sharded runner uses this to
+// give every event a key that is independent of which shard computes it
+// (owner-id ‖ per-owner sequence number), so the per-node execution
+// order is reproduced exactly for any shard count. Each keyed event
+// also carries an `exec_owner` tag that the Simulator restores as the
+// scheduling context while the callback runs.
 //
 // Layout: every pending event lives in a slot of a freelist-recycled
 // vector; the heap orders slot indices by (time, fifo#). Slots record
@@ -38,12 +45,39 @@ class EventQueue {
   ~EventQueue() { clear(); }
 
   // Enqueues `fn` to fire at absolute time `at`. Returns a cancellation id.
+  // The tie key is drawn from the internal FIFO counter (insertion order).
   template <typename F>
   EventId push(Time at, F&& fn) {
+    return push_keyed(at, next_fifo_, 0, std::forward<F>(fn));
+  }
+
+  // Enqueues `fn` at (at, tie) with an explicit tie key. Keys must be
+  // unique per (at, tie) pair for the order to be deterministic; the
+  // Simulator guarantees this by deriving ties from per-owner counters.
+  template <typename F>
+  EventId push_keyed(Time at, std::uint64_t tie, std::uint32_t exec_owner,
+                     F&& fn) {
     const std::uint32_t idx = acquire_slot();
     Slot& s = slots_[idx];
     s.fn = SmallFn(std::forward<F>(fn), spill_);
-    heap_insert(HeapNode{at, next_fifo_++, idx});
+    s.exec_owner = exec_owner;
+    ++next_fifo_;
+    heap_insert(HeapNode{at, tie, idx});
+    return make_id(idx, s.gen);
+  }
+
+  // Same, for an already-built SmallFn (which must have been constructed
+  // against this queue's spill()). A dedicated overload, not the
+  // template: sizeof(SmallFn) > SmallFn::kInlineBytes, so the template
+  // would wrap it in a second, spilled SmallFn.
+  EventId push_keyed_fn(Time at, std::uint64_t tie, std::uint32_t exec_owner,
+                        SmallFn&& fn) {
+    const std::uint32_t idx = acquire_slot();
+    Slot& s = slots_[idx];
+    s.fn = std::move(fn);
+    s.exec_owner = exec_owner;
+    ++next_fifo_;
+    heap_insert(HeapNode{at, tie, idx});
     return make_id(idx, s.gen);
   }
 
@@ -64,6 +98,7 @@ class EventQueue {
   struct Event {
     Time at{};
     EventId id{};
+    std::uint32_t exec_owner = 0;
     SmallFn fn;
   };
   Event pop();
@@ -79,24 +114,29 @@ class EventQueue {
   PoolStats slot_stats() const;
   const PoolStats& spill_stats() const { return spill_.stats(); }
 
+  // The spill pool callers must build SmallFns against before handing
+  // them to push_keyed_fn (see small_fn.h's lifetime contract).
+  SpillPool& spill() { return spill_; }
+
  private:
   static constexpr std::uint32_t kNpos = 0xffffffffu;
 
-  // The (time, fifo#) ordering key lives in the heap nodes themselves:
+  // The (time, tie-key) ordering key lives in the heap nodes themselves:
   // sift comparisons stay inside the heap array (no per-compare
   // indirection into the slot pool), which is what keeps a million-event
   // heap fast. Slots hold the callback plus the bookkeeping cancel needs.
   struct HeapNode {
     Time at{};
-    std::uint64_t fifo = 0;
+    std::uint64_t key = 0;
     std::uint32_t idx = 0;  // slot index
   };
 
   struct Slot {
     SmallFn fn;
-    std::uint32_t heap_pos = kNpos;   // kNpos while free
-    std::uint32_t gen = 0;            // bumped on each release
-    std::uint32_t next_free = kNpos;  // freelist link while free
+    std::uint32_t heap_pos = kNpos;    // kNpos while free
+    std::uint32_t gen = 0;             // bumped on each release
+    std::uint32_t next_free = kNpos;   // freelist link while free
+    std::uint32_t exec_owner = 0;      // restored as context on pop
   };
 
   static EventId make_id(std::uint32_t idx, std::uint32_t gen) {
@@ -106,10 +146,10 @@ class EventQueue {
   std::uint32_t acquire_slot();
   void release_slot(std::uint32_t idx);
 
-  // (time, fifo) strict weak order; fifo ties are impossible.
+  // (time, key) strict weak order; key ties are impossible.
   static bool before(const HeapNode& a, const HeapNode& b) {
     if (a.at != b.at) return a.at < b.at;
-    return a.fifo < b.fifo;
+    return a.key < b.key;
   }
 
   void heap_insert(const HeapNode& n);
@@ -122,7 +162,7 @@ class EventQueue {
   }
 
   std::vector<Slot> slots_;
-  std::vector<HeapNode> heap_;  // 4-ary min-heap keyed by (at, fifo)
+  std::vector<HeapNode> heap_;  // 4-ary min-heap keyed by (at, key)
   std::uint32_t free_head_ = kNpos;
   std::uint64_t next_fifo_ = 0;
   SpillPool spill_;

@@ -1,0 +1,182 @@
+#include "sim/sharded.h"
+
+#include <limits>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+namespace jtp::sim {
+
+namespace {
+constexpr Time kInf = std::numeric_limits<Time>::infinity();
+}
+
+bool ShardedRunner::SpscRing::try_push(Msg&& m) {
+  const std::uint64_t t = tail_.load(std::memory_order_relaxed);
+  const std::uint64_t h = head_.load(std::memory_order_acquire);
+  if (t - h == buf_.size()) return false;
+  buf_[t % buf_.size()] = std::move(m);
+  tail_.store(t + 1, std::memory_order_release);
+  return true;
+}
+
+bool ShardedRunner::SpscRing::try_pop(Msg& out) {
+  const std::uint64_t h = head_.load(std::memory_order_relaxed);
+  const std::uint64_t t = tail_.load(std::memory_order_acquire);
+  if (h == t) return false;
+  out = std::move(buf_[h % buf_.size()]);
+  head_.store(h + 1, std::memory_order_release);
+  return true;
+}
+
+ShardedRunner::ShardedRunner(std::vector<Simulator*> sims, Config cfg)
+    : sims_(std::move(sims)),
+      cfg_(cfg),
+      lb_(sims_.size()),
+      exited_(sims_.size()),
+      overflow_(sims_.size()) {
+  if (sims_.size() < 2)
+    throw std::invalid_argument("ShardedRunner: needs >= 2 shards");
+  if (!(cfg_.lookahead > 0.0))
+    throw std::invalid_argument("ShardedRunner: lookahead must be > 0");
+  if (cfg_.ring_capacity == 0)
+    throw std::invalid_argument("ShardedRunner: ring capacity must be > 0");
+  rings_.resize(sims_.size() * sims_.size());
+  for (std::size_t f = 0; f < sims_.size(); ++f)
+    for (std::size_t t = 0; t < sims_.size(); ++t)
+      if (f != t)
+        rings_[f * sims_.size() + t] =
+            std::make_unique<SpscRing>(cfg_.ring_capacity);
+}
+
+ShardedRunner::~ShardedRunner() = default;
+
+void ShardedRunner::post(std::size_t from, std::size_t to, Time at,
+                         std::uint64_t tie, std::uint32_t exec_owner,
+                         std::function<void()> fn) {
+  posted_.fetch_add(1, std::memory_order_relaxed);
+  Msg m{at, tie, exec_owner, std::move(fn)};
+  SpscRing& r = ring(from, to);
+  while (!r.try_push(std::move(m))) {
+    // A live receiver drains every iteration, so a full ring resolves;
+    // an exited receiver never will — its stragglers (all stamped past
+    // the current barrier, see header) take the overflow lane instead.
+    if (exited_[to].load(std::memory_order_acquire) ||
+        failed_.load(std::memory_order_relaxed)) {
+      std::lock_guard<std::mutex> lock(overflow_mu_);
+      overflow_[to].push_back(std::move(m));
+      return;
+    }
+    std::this_thread::yield();
+  }
+}
+
+bool ShardedRunner::drain(std::size_t i) {
+  bool any = false;
+  Msg m;
+  for (std::size_t f = 0; f < sims_.size(); ++f) {
+    if (f == i) continue;
+    SpscRing& r = ring(f, i);
+    while (r.try_pop(m)) {
+      sims_[i]->at_keyed(m.at, m.tie, m.exec_owner, std::move(m.fn));
+      any = true;
+    }
+  }
+  return any;
+}
+
+void ShardedRunner::worker(std::size_t i, Time t) {
+  Simulator& me = *sims_[i];
+  const std::size_t K = sims_.size();
+  int idle = 0;
+  try {
+    for (;;) {
+      if (failed_.load(std::memory_order_relaxed)) break;
+      // (1) Peers' bounds. The acquire pairs with their release publish,
+      // ordering messages they pushed before publishing ahead of our
+      // drain below.
+      Time min_lb = kInf;
+      for (std::size_t j = 0; j < K; ++j) {
+        if (j == i) continue;
+        const Time b = lb_[j].v.load(std::memory_order_acquire);
+        if (b < min_lb) min_lb = b;
+      }
+      const Time horizon = min_lb + cfg_.lookahead;
+      // (2) Inbound messages.
+      bool progress = drain(i);
+      // (3) Execute everything provably safe. Strictly below the
+      // horizon: an event exactly at it could still be preceded by a
+      // not-yet-sent message carrying the same timestamp.
+      while (me.pending() && me.next_time() < horizon &&
+             me.next_time() <= t) {
+        me.step();
+        progress = true;
+      }
+      // (4) Publish our own bound (monotone; release orders the pushes
+      // from step 3 before it).
+      const Time nxt = me.pending() ? me.next_time() : kInf;
+      const Time pub = nxt < horizon ? nxt : horizon;
+      if (pub > lb_[i].v.load(std::memory_order_relaxed)) {
+        lb_[i].v.store(pub, std::memory_order_release);
+        progress = true;
+      }
+      // (5) Done once nothing of ours remains at or below t and no peer
+      // can still send anything at or below t.
+      if ((!me.pending() || me.next_time() > t) && horizon > t) break;
+      if (progress) {
+        idle = 0;
+      } else if (++idle > 64) {
+        std::this_thread::yield();
+      }
+    }
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(error_mu_);
+    if (!error_) error_ = std::current_exception();
+    failed_.store(true, std::memory_order_relaxed);
+  }
+  exited_[i].store(true, std::memory_order_release);
+  lb_[i].v.store(kInf, std::memory_order_release);
+}
+
+void ShardedRunner::run_until(Time t) {
+  const std::size_t K = sims_.size();
+  {
+    std::lock_guard<std::mutex> lock(error_mu_);
+    error_ = nullptr;
+  }
+  failed_.store(false, std::memory_order_relaxed);
+  for (std::size_t i = 0; i < K; ++i) {
+    exited_[i].store(false, std::memory_order_relaxed);
+    // Every future execution time is >= the shard's clock (which all
+    // shards share after a previous barrier), so this is a sound floor.
+    lb_[i].v.store(sims_[i]->now(), std::memory_order_relaxed);
+  }
+
+  std::vector<std::thread> threads;
+  threads.reserve(K);
+  for (std::size_t i = 0; i < K; ++i)
+    threads.emplace_back([this, i, t] { worker(i, t); });
+  for (auto& th : threads) th.join();
+
+  {
+    std::lock_guard<std::mutex> lock(error_mu_);
+    if (error_) std::rethrow_exception(error_);
+  }
+
+  // Stragglers posted after a receiver exited are all stamped > t; file
+  // them so the next run_until (or teardown) sees them.
+  for (std::size_t i = 0; i < K; ++i) drain(i);
+  {
+    std::lock_guard<std::mutex> lock(overflow_mu_);
+    for (std::size_t i = 0; i < K; ++i) {
+      for (auto& m : overflow_[i])
+        sims_[i]->at_keyed(m.at, m.tie, m.exec_owner, std::move(m.fn));
+      overflow_[i].clear();
+    }
+  }
+  // Land everyone exactly on the barrier (executes nothing: every event
+  // <= t already ran).
+  for (std::size_t i = 0; i < K; ++i) sims_[i]->run_until(t);
+}
+
+}  // namespace jtp::sim

@@ -1,0 +1,143 @@
+// ShardedRunner: conservative-lookahead parallel execution of K
+// Simulators inside one run (Chandy–Misra–Bryant, shared-memory form).
+//
+// Each shard owns one Simulator and runs it on its own thread; the
+// one-Simulator-per-thread contract (docs/ARCHITECTURE.md) is preserved
+// because a shard's queue, pools, and model state are touched only by
+// its worker. Shards interact exclusively through bounded SPSC
+// mailboxes of timestamped messages, and the protocol guarantees that
+// every simulator executes its events in exactly the (time, tie-key)
+// order a single merged queue would — determinism is the contract, the
+// parallelism is just overlap of provably-independent work.
+//
+// The safety argument, in terms of the code below:
+//
+//  * Lookahead L: the caller promises that a shard executing an event
+//    at virtual time `s` posts cross-shard events timestamped >= s + L
+//    (in the network, L = slot_duration: a MAC attempt at slot start
+//    delivers one airtime later, and control handoffs are deferred the
+//    same amount).
+//  * Each shard publishes a lower bound `lb[i]` on every virtual time
+//    it will ever execute again: lb = min(own next event time, own
+//    horizon). Publishing min(next, horizon) rather than `next` alone
+//    keeps the bound sound when the queue is empty and doubles as the
+//    null message — an idle shard's bound climbs by L per round, so
+//    quiet boundaries never stall anyone.
+//  * A shard may execute strictly below horizon = min over peers of
+//    lb[peer] + L. Order per iteration: read peers' bounds (acquire),
+//    drain mailboxes, execute, publish own bound (release). A message
+//    missed by the drain was pushed after its sender's publish that the
+//    acquire read — so it is stamped >= that bound + L >= horizon and
+//    cannot be needed below the horizon just computed.
+//  * A shard exits once its own queue holds nothing <= t and its
+//    horizon exceeds t (then publishes +inf so peers never wait on it).
+//    Any message posted to an exited shard is stamped > t by the same
+//    horizon argument; run_until() drains leftovers into the target
+//    queues after joining, so nothing is lost across repeated runs.
+//
+// K = 1 never constructs a runner: Network falls through to the plain
+// single-threaded Simulator::run_until, byte-identical to the pre-shard
+// code path.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace jtp::sim {
+
+class ShardedRunner {
+ public:
+  struct Config {
+    Time lookahead = 0.0;            // L, must be > 0
+    std::size_t ring_capacity = 4096;  // per ordered shard pair
+  };
+
+  // `sims` must outlive the runner; sims.size() >= 2.
+  ShardedRunner(std::vector<Simulator*> sims, Config cfg);
+  ~ShardedRunner();
+  ShardedRunner(const ShardedRunner&) = delete;
+  ShardedRunner& operator=(const ShardedRunner&) = delete;
+
+  // Posts an event to shard `to`, keyed exactly as the sender drew it.
+  // Called from shard `from`'s worker thread while run_until is live
+  // (SPSC: one producer per ordered pair). `at` must be >= sender's
+  // current time + lookahead.
+  void post(std::size_t from, std::size_t to, Time at, std::uint64_t tie,
+            std::uint32_t exec_owner, std::function<void()> fn);
+
+  // Runs every shard's events with time <= t (worker threads), then
+  // lands all clocks exactly on t. Serializable: call repeatedly with
+  // increasing t.
+  void run_until(Time t);
+
+  std::size_t shard_count() const { return sims_.size(); }
+  Time lookahead() const { return cfg_.lookahead; }
+
+  // Total cross-shard messages posted (diagnostic; relaxed counter).
+  std::uint64_t messages_posted() const {
+    return posted_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Msg {
+    Time at = 0.0;
+    std::uint64_t tie = 0;
+    std::uint32_t exec_owner = 0;
+    std::function<void()> fn;
+  };
+
+  // Bounded single-producer single-consumer ring. The producer is the
+  // sending shard's worker, the consumer the receiving shard's worker
+  // (or the coordinating thread after join).
+  class SpscRing {
+   public:
+    explicit SpscRing(std::size_t capacity) : buf_(capacity) {}
+    bool try_push(Msg&& m);
+    bool try_pop(Msg& out);
+
+   private:
+    std::vector<Msg> buf_;
+    std::atomic<std::uint64_t> head_{0};  // consumer index
+    std::atomic<std::uint64_t> tail_{0};  // producer index
+  };
+
+  // Cache-line padding: each shard's bound is written by one thread and
+  // read by all others every iteration.
+  struct alignas(64) Bound {
+    std::atomic<Time> v{0.0};
+  };
+
+  SpscRing& ring(std::size_t from, std::size_t to) {
+    return *rings_[from * sims_.size() + to];
+  }
+
+  void worker(std::size_t i, Time t);
+  bool drain(std::size_t i);  // inject everything inbound; true if any
+
+  std::vector<Simulator*> sims_;
+  Config cfg_;
+  std::vector<std::unique_ptr<SpscRing>> rings_;  // [from * K + to]
+  std::vector<Bound> lb_;
+  std::vector<std::atomic<bool>> exited_;
+
+  // Overflow lane for the ring-full-after-receiver-exited corner: such
+  // messages are all stamped > t and only read after join, so a mutex
+  // is fine here.
+  std::mutex overflow_mu_;
+  std::vector<std::vector<Msg>> overflow_;  // per destination shard
+
+  std::atomic<bool> failed_{false};
+  std::mutex error_mu_;
+  std::exception_ptr error_;
+
+  std::atomic<std::uint64_t> posted_{0};
+};
+
+}  // namespace jtp::sim

@@ -4,16 +4,23 @@
 
 namespace jtp::sim {
 
+void Simulator::step() {
+  assert(!queue_.empty());
+  auto ev = queue_.pop();
+  assert(ev.at >= now_);
+  now_ = ev.at;
+  ctx_ = ev.exec_owner;
+  ev.fn();
+  ++executed_;
+}
+
 std::uint64_t Simulator::run_until(Time t) {
   std::uint64_t ran = 0;
   while (!queue_.empty() && queue_.next_time() <= t) {
-    auto ev = queue_.pop();
-    assert(ev.at >= now_);
-    now_ = ev.at;
-    ev.fn();
+    step();
     ++ran;
-    ++executed_;
   }
+  ctx_ = 0;
   if (now_ < t && t < std::numeric_limits<Time>::max()) now_ = t;
   return ran;
 }
@@ -22,6 +29,8 @@ void Simulator::reset() {
   queue_.clear();
   now_ = kTimeZero;
   executed_ = 0;
+  ctx_ = 0;
+  seq_.clear();
 }
 
 }  // namespace jtp::sim

@@ -215,6 +215,13 @@ TEST(SteadyState, DeliveryPipelinePerformsZeroPoolGrowth) {
   EXPECT_EQ(sp.capacity, sp_warm.capacity);
   EXPECT_EQ(sp.heap_allocs, sp_warm.heap_allocs);
   EXPECT_EQ(sp.oversize_allocs, 0u);
+  // Stronger than "stopped growing": with Env::schedule forwarding
+  // straight into SmallFn (no std::function detour), every timer closure
+  // in the transport stack fits the 48-byte inline buffer — the spill
+  // pool never allocates a single block over the whole run.
+  EXPECT_EQ(sp.capacity, 0u);
+  EXPECT_EQ(sp.high_water, 0u);
+  EXPECT_EQ(sp.heap_allocs, 0u);
   EXPECT_EQ(pk.capacity, pk_warm.capacity);
   EXPECT_EQ(pk.high_water, pk_warm.high_water);
   EXPECT_EQ(pk.heap_allocs, pk_warm.heap_allocs);
