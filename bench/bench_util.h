@@ -80,7 +80,7 @@ inline const char* usage_text() {
       "  --jobs N          run seeds on N threads (default: hw threads)\n"
       "  --csv PATH        also write the result series to CSV file(s);\n"
       "                    multi-table benches derive PATH.<section>.csv\n"
-      "  --proto NAME      protocol override: jtp, jnc, tcp or atp\n"
+      "  --proto NAME      protocol override: jtp, jnc, tcp, atp, jtp_ff, jtp_dr or bbr\n"
       "  --shards N        run each simulation on N event-loop shards\n"
       "                    (results are byte-identical across N; needs a\n"
       "                    static topology and a non-CSMA MAC when N > 1)\n"
@@ -160,7 +160,7 @@ inline ParseResult parse_args(int argc, char** argv) {
       const auto p = core::parse_proto(argv[++i]);
       if (!p) {
         r.error = std::string("--proto: unknown protocol '") + argv[i] +
-                  "' (known: jtp, jnc, tcp, atp)";
+                  "' (known: jtp, jnc, tcp, atp, jtp_ff, jtp_dr, bbr)";
         return r;
       }
       r.options.proto = *p;

@@ -11,8 +11,10 @@
 #include <string>
 #include <vector>
 
+#include "baselines/bbr.h"
 #include "baselines/tcp_sack.h"
 #include "core/cache.h"
+#include "core/rate_sample.h"
 #include "core/env.h"
 #include "core/ijtp.h"
 #include "core/path_monitor.h"
@@ -191,6 +193,55 @@ void BM_RateControllerUpdate(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_RateControllerUpdate);
+
+// One sampler cycle of the delivery-rate subsystem: snapshot at send,
+// credit at ACK, one sample into the max-filter — the per-ACK cost every
+// jtp_dr/bbr flow pays.
+void BM_RateSampleUpdate(benchmark::State& state) {
+  core::RateSampler sampler;
+  core::BandwidthEstimator bw(10);
+  core::SeqNo seq = 0;
+  double now = 0.0;
+  std::uint64_t round = 0;
+  for (auto _ : state) {
+    // Keep a steady flight of 8: one send + one delivery per iteration.
+    sampler.on_sent(seq, now);
+    now += 0.01;
+    if (seq >= 8) {
+      sampler.on_delivered(seq - 8, now);
+      const auto s = sampler.take_sample(now);
+      if (s.valid) bw.on_sample(s, ++round);
+      benchmark::DoNotOptimize(bw.bw_pps());
+    }
+    ++seq;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RateSampleUpdate);
+
+// The full BBR control step on a synthetic sample stream: startup →
+// drain → probe_bw with the gain cycle advancing on min-RTT boundaries.
+void BM_BbrStateMachine(benchmark::State& state) {
+  baselines::BbrConfig cfg;
+  baselines::BbrModel model(cfg);
+  core::RateSample s;
+  s.valid = true;
+  s.delivered = 4;
+  s.interval_s = 0.1;
+  s.rtt_s = 0.2;
+  double now = 0.0;
+  std::uint64_t delivered_total = 0;
+  for (auto _ : state) {
+    now += 0.05;
+    delivered_total += s.delivered;
+    s.bw_pps = 40.0 + static_cast<double>(delivered_total % 16);
+    model.on_sample(s, now, delivered_total, /*in_flight=*/8);
+    benchmark::DoNotOptimize(model.pacing_rate_pps());
+    benchmark::DoNotOptimize(model.cwnd_packets());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BbrStateMachine);
 
 // ---------------------------------------------------------------------------
 // Control-plane kernels: neighbor queries and routing refresh at small

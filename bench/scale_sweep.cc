@@ -47,6 +47,8 @@ struct ScaleRun {
   double reuse = 1.0;
   double refreshes = 0.0;
   double snapshots = 0.0;
+  double jain = 0.0;
+  double p99_s = 0.0;
   double rows_built = 0.0;
   double row_reuses = 0.0;
   double event_pool_hw = 0.0;
@@ -75,6 +77,8 @@ ScaleRun one_run(exp::ScenarioSpec spec, std::size_t n, std::uint64_t seed,
   r.cache_rtx = static_cast<double>(m.cache_retransmissions);
   r.colors = static_cast<double>(ms.colors_used);
   r.reuse = ms.reuse_factor;
+  r.jain = m.jain_fairness;
+  r.p99_s = m.p99_completion_s;
   r.refreshes = static_cast<double>(rs.refreshes);
   r.snapshots = static_cast<double>(rs.snapshots);
   r.rows_built = static_cast<double>(rs.rows_built);
@@ -160,7 +164,15 @@ int main(int argc, char** argv) {
                                                   {"colors", 0},
                                                   {"reuse", 2},
                                                   {"refreshes", 0},
-                                                  {"snapshots", 0}})
+                                                  {"snapshots", 0},
+                                                  // per-flow distribution
+                                                  // metrics: K-invariant
+                                                  // (pure functions of
+                                                  // per-flow counters), so
+                                                  // they stay in the
+                                                  // --deterministic set
+                                                  {"jain", 3},
+                                                  {"p99_done_s", 1}})
       cols.push_back(c);
     if (!deterministic)
       for (const auto& c : std::vector<sim::Column>{{"rows_built", 0},
@@ -201,6 +213,8 @@ int main(int argc, char** argv) {
       row.push_back(mean_of(runs, &ScaleRun::reuse));
       row.push_back(mean_of(runs, &ScaleRun::refreshes));
       row.push_back(mean_of(runs, &ScaleRun::snapshots));
+      row.push_back(mean_of(runs, &ScaleRun::jain));
+      row.push_back(mean_of(runs, &ScaleRun::p99_s));
       if (!deterministic) {
         row.push_back(mean_of(runs, &ScaleRun::rows_built));
         row.push_back(mean_of(runs, &ScaleRun::row_reuses));

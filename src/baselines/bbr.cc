@@ -1,0 +1,296 @@
+#include "baselines/bbr.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace jtp::baselines {
+
+// probe_bw gain cycle: one probing phase, one draining phase, six cruise
+// phases. The cycle start is fixed (index 0) rather than randomized as in
+// Linux BBR — determinism across shard counts and reruns is a repo-wide
+// invariant worth more here than desynchronizing competing flows.
+namespace {
+constexpr double kCycleGains[] = {1.25, 0.75, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0};
+constexpr std::uint64_t kCycleLen = 8;
+}  // namespace
+
+// --------------------------- Model ---------------------------
+
+BbrModel::BbrModel(const BbrConfig& cfg)
+    : cfg_(cfg), bw_(cfg.bw_window_rounds), rtt_(cfg.min_rtt_window_s) {}
+
+void BbrModel::on_sample(const core::RateSample& s, double now,
+                         std::uint64_t delivered_total,
+                         std::uint64_t in_flight) {
+  if (!s.valid) return;
+
+  // Round accounting: the sample closes a round when its probe packet was
+  // sent at-or-after the previous round's close (BBR's packet-timed
+  // rounds — `delivered_total - s.delivered` is the probe's transmit-time
+  // delivered snapshot).
+  const std::uint64_t prior = delivered_total - s.delivered;
+  bool round_advanced = false;
+  if (prior >= round_start_delivered_) {
+    ++round_;
+    round_start_delivered_ = delivered_total;
+    round_advanced = true;
+  }
+
+  bw_.on_sample(s, round_);
+  if (s.rtt_s > 0.0) rtt_.update(s.rtt_s, now);
+
+  // Full-pipe detection: bw must grow ≥ full_bw_thresh per round to keep
+  // startup alive; app-limited rounds prove nothing about the pipe.
+  if (!filled_pipe_ && round_advanced && !s.app_limited) {
+    const double bw = bw_.bw_pps();
+    if (bw >= full_bw_ * cfg_.full_bw_thresh) {
+      full_bw_ = bw;
+      full_bw_count_ = 0;
+    } else if (++full_bw_count_ >= cfg_.full_bw_rounds) {
+      filled_pipe_ = true;
+    }
+  }
+
+  if (mode_ == Mode::kStartup && filled_pipe_) {
+    mode_ = Mode::kDrain;
+  }
+  if (mode_ == Mode::kDrain) {
+    // Drain is over once the startup queue is gone.
+    if (static_cast<double>(in_flight) <= bdp_packets()) {
+      mode_ = Mode::kProbeBw;
+      cycle_index_ = 0;
+      cycle_stamp_ = now;
+    }
+  }
+  if (mode_ == Mode::kProbeBw) {
+    const double rtt = rtt_.has_estimate() ? rtt_.min_rtt_s()
+                                           : cfg_.initial_rtt_s;
+    if (now - cycle_stamp_ >= rtt) {
+      cycle_index_ = (cycle_index_ + 1) % kCycleLen;
+      cycle_stamp_ = now;
+    }
+  }
+}
+
+double BbrModel::pacing_gain() const {
+  switch (mode_) {
+    case Mode::kStartup:
+      return cfg_.startup_gain;
+    case Mode::kDrain:
+      return cfg_.drain_gain;
+    case Mode::kProbeBw:
+      return kCycleGains[cycle_index_ % kCycleLen];
+  }
+  return 1.0;
+}
+
+double BbrModel::pacing_rate_pps() const {
+  const double base =
+      bw_.has_estimate() ? bw_.bw_pps() : cfg_.initial_rate_pps;
+  return std::clamp(pacing_gain() * base, cfg_.min_rate_pps,
+                    cfg_.max_rate_pps);
+}
+
+double BbrModel::bdp_packets() const {
+  if (!bw_.has_estimate() || !rtt_.has_estimate()) return 0.0;
+  return bw_.bw_pps() * rtt_.min_rtt_s();
+}
+
+std::uint64_t BbrModel::cwnd_packets() const {
+  const double bdp = bdp_packets();
+  if (bdp <= 0.0) return 0;  // no model yet: sender's static cap rules
+  const double gain =
+      mode_ == Mode::kStartup ? cfg_.startup_gain : cfg_.cwnd_gain;
+  return std::max<std::uint64_t>(cfg_.min_cwnd_packets,
+                                 static_cast<std::uint64_t>(gain * bdp) + 1);
+}
+
+// --------------------------- Sender ---------------------------
+
+BbrSender::BbrSender(core::Env& env, core::PacketSink& sink, BbrConfig cfg)
+    : env_(env),
+      sink_(sink),
+      cfg_(cfg),
+      model_(cfg),
+      srtt_(cfg.initial_rtt_s),
+      rttvar_(cfg.initial_rtt_s / 2.0) {}
+
+BbrSender::~BbrSender() { stop(); }
+
+void BbrSender::start(std::uint64_t total_packets) {
+  running_ = true;
+  total_packets_ = total_packets;
+  arm_pacing();
+  arm_rto();
+}
+
+void BbrSender::stop() {
+  running_ = false;
+  if (pacing_armed_) {
+    env_.cancel(pacing_timer_);
+    pacing_armed_ = false;
+  }
+  if (rto_armed_) {
+    env_.cancel(rto_timer_);
+    rto_armed_ = false;
+  }
+}
+
+std::uint64_t BbrSender::in_flight() const {
+  return unacked_.size() - sacked_.size();
+}
+
+core::PacketPtr BbrSender::make_data(core::SeqNo seq, bool rtx) {
+  core::PacketPtr p = env_.packet_pool().make();
+  p->type = core::PacketType::kData;
+  p->flow = cfg_.flow;
+  p->src = cfg_.src;
+  p->dst = cfg_.dst;
+  p->seq = seq;
+  p->payload_bytes = cfg_.payload_bytes;
+  p->header_override_bytes = kTcpDataHeaderBytes;  // same wire as kTcp
+  p->loss_tolerance = 0.0;
+  p->energy_budget = 0.0;
+  p->send_time = env_.now();
+  p->is_source_retransmission = rtx;
+  return p;
+}
+
+void BbrSender::arm_pacing() {
+  if (!running_ || pacing_armed_) return;
+  pacing_armed_ = true;
+  pacing_timer_ = env_.schedule(1.0 / model_.pacing_rate_pps(), [this] {
+    pacing_armed_ = false;
+    pace();
+  });
+}
+
+void BbrSender::pace() {
+  if (!running_) return;
+  const double now = env_.now();
+  // Retransmissions first (SACK-driven), then new data.
+  while (!rtx_queue_.empty()) {
+    const core::SeqNo seq = rtx_queue_.front();
+    rtx_queue_.pop_front();
+    auto it = unacked_.find(seq);
+    if (it == unacked_.end() || sacked_.count(seq)) continue;
+    it->second = now;
+    ++source_rtx_;
+    ++data_sent_;
+    sampler_.on_sent(seq, now);  // Karn: overwrites the stale flight
+    sink_.send(make_data(seq, true));
+    arm_pacing();
+    return;
+  }
+  const std::uint64_t model_cwnd = model_.cwnd_packets();
+  const std::uint64_t cwnd =
+      model_cwnd == 0 ? cfg_.window_cap_packets
+                      : std::min(cfg_.window_cap_packets, model_cwnd);
+  const bool have_new = total_packets_ == 0 || next_seq_ < total_packets_;
+  if (have_new && in_flight() < cwnd) {
+    const core::SeqNo seq = next_seq_++;
+    unacked_.emplace(seq, now);
+    ++data_sent_;
+    sampler_.on_sent(seq, now);
+    sink_.send(make_data(seq, false));
+  } else if (!have_new && in_flight() > 0) {
+    // Out of application data with packets still outstanding: windows
+    // sampled from here on measure the app, not the path.
+    sampler_.mark_app_limited(in_flight());
+  }
+  if (!finished()) arm_pacing();
+}
+
+void BbrSender::on_ack(const core::Packet& ack) {
+  assert(ack.is_ack() && ack.ack);
+  const core::AckHeader& h = *ack.ack;
+  const double now = env_.now();
+
+  // Decode the feedback into per-seq deliveries for the sampler BEFORE
+  // the bookkeeping below consumes it. Cumulative advance first …
+  for (core::SeqNo s = cum_ack_; s < h.cumulative_ack; ++s)
+    sampler_.on_delivered(s, now);
+  // … then SACK-implied arrivals: seqs between the cumulative ACK and the
+  // highest listed hole that are NOT holes reached the receiver.
+  core::SeqNo high = h.cumulative_ack;
+  for (core::SeqNo m : h.snack.missing) high = std::max(high, m);
+  for (core::SeqNo s = h.cumulative_ack; s < high; ++s) {
+    bool missing = false;
+    for (core::SeqNo m : h.snack.missing) {
+      if (m == s) {
+        missing = true;
+        break;
+      }
+    }
+    if (!missing) {
+      sampler_.on_delivered(s, now);
+      if (s >= cum_ack_ && unacked_.count(s)) sacked_.insert(s);
+    }
+  }
+
+  cum_ack_ = std::max(cum_ack_, h.cumulative_ack);
+  unacked_.erase(unacked_.begin(), unacked_.lower_bound(cum_ack_));
+  while (!sacked_.empty() && *sacked_.begin() < cum_ack_)
+    sacked_.erase(sacked_.begin());
+  sampler_.discard_below(cum_ack_);
+
+  // SNACK.missing doubles as the SACK hole list → retransmit queue.
+  for (core::SeqNo seq : h.snack.missing) {
+    if (seq < cum_ack_ || !unacked_.count(seq) || sacked_.count(seq))
+      continue;
+    if (std::find(rtx_queue_.begin(), rtx_queue_.end(), seq) ==
+        rtx_queue_.end())
+      rtx_queue_.push_back(seq);
+  }
+
+  // One delivery-rate sample per ACK drives the model; its probe RTT also
+  // feeds the RTO estimator (Karn-safe: retransmissions overwrite their
+  // transmit record, so the sample always measures the latest flight).
+  core::RateSample s = sampler_.take_sample(now);
+  if (s.valid && s.rtt_s > 0.0) {
+    const double err = s.rtt_s - srtt_;
+    srtt_ += 0.125 * err;
+    rttvar_ += 0.25 * (std::abs(err) - rttvar_);
+  }
+  model_.on_sample(s, now, sampler_.delivered_count(), in_flight());
+
+  arm_rto();  // progress: push the timeout out
+  if (finished() && !complete_reported_) {
+    complete_reported_ = true;
+    if (on_complete_) on_complete_();
+  }
+}
+
+void BbrSender::arm_rto() {
+  if (rto_armed_) {
+    env_.cancel(rto_timer_);
+    rto_armed_ = false;
+  }
+  if (!running_) return;
+  const double rto = std::max(cfg_.rto_min_s, srtt_ + 4.0 * rttvar_);
+  rto_armed_ = true;
+  rto_timer_ = env_.schedule(rto, [this] {
+    rto_armed_ = false;
+    rto_fire();
+  });
+}
+
+void BbrSender::rto_fire() {
+  if (!running_ || finished()) return;
+  if (!unacked_.empty()) {
+    const core::SeqNo seq = unacked_.begin()->first;
+    if (!sacked_.count(seq) &&
+        std::find(rtx_queue_.begin(), rtx_queue_.end(), seq) ==
+            rtx_queue_.end())
+      rtx_queue_.push_front(seq);
+    ++timeouts_;
+  }
+  arm_rto();
+}
+
+bool BbrSender::finished() const {
+  return total_packets_ != 0 && cum_ack_ >= total_packets_;
+}
+
+}  // namespace jtp::baselines

@@ -1,0 +1,112 @@
+#include "core/jtp_dr.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace jtp::core {
+
+JtpDrSender::JtpDrSender(Env& env, PacketSink& sink, SenderConfig cfg,
+                         JtpDrConfig dr)
+    : env_(env),
+      dr_(dr),
+      sampler_(),
+      bw_(dr.bw_window_rounds),
+      rtt_(dr.min_rtt_window_s),
+      ctl_(dr.rate),
+      tap_(*this, sink),
+      inner_(env, tap_, cfg) {}
+
+void JtpDrSender::start(std::uint64_t total_packets) {
+  total_packets_ = total_packets;
+  inner_.start(total_packets);
+}
+
+void JtpDrSender::TapSink::send(PacketPtr p) {
+  if (p && p->is_data()) owner_.note_sent(p->seq);
+  out_.send(std::move(p));
+}
+
+void JtpDrSender::note_sent(SeqNo seq) {
+  sampler_.on_sent(seq, env_.now());
+  // Bounded transfer with everything handed to the pacer: from here on
+  // the sender is application-limited, and windows spanning this tail
+  // must not be read as the path slowing down.
+  if (total_packets_ != 0 && inner_.next_new_seq() >= total_packets_)
+    sampler_.mark_app_limited(sampler_.packets_in_flight());
+}
+
+void JtpDrSender::on_ack(const Packet& ack) {
+  if (!ack.is_ack() || !ack.ack.has_value()) {
+    inner_.on_ack(ack);
+    return;
+  }
+  const AckBody& body = *ack.ack;
+  if (body.ack_serial <= last_serial_) {
+    // Stale/duplicate feedback: the inner sender has its own serial
+    // guard; nothing here to sample.
+    inner_.on_ack(ack);
+    return;
+  }
+  last_serial_ = body.ack_serial;
+  const double now = env_.now();
+
+  // Decode the feedback into per-seq deliveries. Cumulative advance
+  // first, then SNACK-implied holes: everything between the cumulative
+  // ACK and the highest listed missing seq that is NOT listed as missing
+  // has reached the destination (partial-delivery credit; on_delivered
+  // is idempotent, so later cumulative sweeps cannot double-count).
+  for (SeqNo s = cum_seen_; s < body.cumulative_ack; ++s)
+    sampler_.on_delivered(s, now);
+  cum_seen_ = std::max(cum_seen_, body.cumulative_ack);
+  if (!body.snack.missing.empty()) {
+    SeqNo high = 0;
+    for (SeqNo m : body.snack.missing) high = std::max(high, m);
+    for (SeqNo s = body.cumulative_ack; s < high; ++s) {
+      bool missing = false;
+      for (SeqNo m : body.snack.missing) {
+        if (m == s) {
+          missing = true;
+          break;
+        }
+      }
+      if (!missing) sampler_.on_delivered(s, now);
+    }
+  }
+
+  RateSample s = sampler_.take_sample(now);
+  if (s.valid) {
+    // BBR-style round accounting: the sample closes a round when its
+    // probe packet was sent at-or-after the previous round's close.
+    const std::uint64_t prior = sampler_.delivered_count() - s.delivered;
+    if (prior >= round_start_delivered_) {
+      ++round_;
+      round_start_delivered_ = sampler_.delivered_count();
+    }
+    bw_.on_sample(s, round_);
+    if (s.rtt_s > 0.0) rtt_.update(s.rtt_s, now);
+  }
+
+  if (bw_.has_estimate()) {
+    // Local PI²/MD with Ā = the delivery-rate estimate, converging at
+    // dr_gain × Ā (see JtpDrConfig), overriding whatever the destination
+    // advertised. The inner sender still applies its own adoption rules
+    // (bounded increase factor, serial guard).
+    const double a_bar = bw_.bw_pps();
+    ctl_.set_rate_cap(std::min(
+        dr_.rate.max_rate_pps,
+        std::max(dr_.rate.min_rate_pps, dr_.dr_gain * a_bar)));
+    const double r = ctl_.update(a_bar);
+    Packet rewritten = ack;
+    rewritten.ack->advertised_rate_pps = r;
+    inner_.on_ack(rewritten);
+  } else {
+    inner_.on_ack(ack);
+  }
+
+  // Records at-or-below the cumulative ACK whose seqs were waived (loss
+  // tolerance) never see on_delivered; drop them so the in-flight view
+  // stays honest.
+  sampler_.discard_below(body.cumulative_ack);
+}
+
+}  // namespace jtp::core

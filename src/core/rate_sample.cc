@@ -1,0 +1,119 @@
+#include "core/rate_sample.h"
+
+#include <algorithm>
+
+namespace jtp::core {
+
+void RateSampler::on_sent(SeqNo seq, double now) {
+  if (records_.empty()) {
+    // First packet of a new flight: restart the sampling window so idle
+    // periods never inflate an interval (tcp_rate_skb_sent's "no packets
+    // in flight" reset).
+    first_sent_time_ = now;
+    delivered_time_ = now;
+  }
+  TxRecord rec;
+  rec.sent_time = now;
+  rec.first_sent_time = first_sent_time_;
+  rec.delivered = delivered_;
+  rec.delivered_time = delivered_time_;
+  rec.app_limited = app_limited_until_ != 0;
+  records_[seq] = rec;  // a retransmission overwrites the stale flight
+}
+
+void RateSampler::on_delivered(SeqNo seq, double now) {
+  auto it = records_.find(seq);
+  // No snapshot: either never sent through this sampler (pre-attach seq)
+  // or already credited by an earlier ACK (SNACK/SACK hole closure later
+  // covered by a cumulative advance). Crediting is once-per-seq.
+  if (it == records_.end()) return;
+  ++delivered_;
+  delivered_time_ = now;
+  // The app-limited mark expires once every packet outstanding at the
+  // mark has been delivered: later windows measure the path again.
+  if (app_limited_until_ != 0 && delivered_ > app_limited_until_)
+    app_limited_until_ = 0;
+
+  const TxRecord& rec = it->second;
+  // Most recently sent packet wins as the probe: its window is the
+  // freshest complete view of the path (tcp_rate_skb_delivered).
+  if (!pending_ || rec.sent_time >= pending_probe_sent_) {
+    pending_ = true;
+    pending_probe_ = rec;
+    pending_probe_sent_ = rec.sent_time;
+    pending_rtt_ = now - rec.sent_time;
+    // The send phase of the next window starts at this probe's transmit.
+    first_sent_time_ = rec.sent_time;
+  }
+  records_.erase(it);
+}
+
+RateSample RateSampler::take_sample(double now) {
+  RateSample s;
+  if (!pending_) return s;  // the ACK delivered nothing we had snapshotted
+  pending_ = false;
+
+  s.delivered = delivered_ - pending_probe_.delivered;
+  s.send_interval_s = pending_probe_sent_ - pending_probe_.first_sent_time;
+  s.ack_interval_s = now - pending_probe_.delivered_time;
+  s.interval_s = std::max(s.send_interval_s, s.ack_interval_s);
+  s.rtt_s = pending_rtt_;
+  s.app_limited = pending_probe_.app_limited;
+  if (s.delivered == 0 || s.interval_s < cfg_.min_interval_s) return s;
+  s.bw_pps = static_cast<double>(s.delivered) / s.interval_s;
+  s.valid = true;
+  ++samples_taken_;
+  return s;
+}
+
+void RateSampler::mark_app_limited(std::uint64_t in_flight) {
+  // Everything delivered up to (delivered + in_flight) was sent across a
+  // window that touched app-limited time; max(..., 1) keeps the mark
+  // meaningful before the first delivery.
+  app_limited_until_ = std::max<std::uint64_t>(delivered_ + in_flight, 1);
+}
+
+void RateSampler::discard_below(SeqNo seq) {
+  records_.erase(records_.begin(), records_.lower_bound(seq));
+}
+
+// ---------------------------------------------------------------------------
+
+void BandwidthEstimator::on_sample(const RateSample& s, std::uint64_t round) {
+  if (!s.valid) return;
+  // App-limited windows measure the application, not the path: they may
+  // refresh or lower the estimate (keeping it honest when the path
+  // degrades during a slack period) but must never raise it.
+  if (s.app_limited && s.bw_pps > bw_pps() && has_estimate()) {
+    ++app_limited_discards_;
+    return;
+  }
+  while (!window_.empty() && window_.back().second <= s.bw_pps)
+    window_.pop_back();
+  window_.emplace_back(round, s.bw_pps);
+  // Expire maxima older than the window.
+  while (!window_.empty() &&
+         window_.front().first + window_rounds_ < round)
+    window_.pop_front();
+}
+
+double BandwidthEstimator::bw_pps() const {
+  return window_.empty() ? 0.0 : window_.front().second;
+}
+
+// ---------------------------------------------------------------------------
+
+void MinRttTracker::update(double rtt_s, double now) {
+  if (rtt_s <= 0.0) return;
+  while (!window_.empty() && window_.back().second >= rtt_s)
+    window_.pop_back();
+  window_.emplace_back(now, rtt_s);
+  while (!window_.empty() && window_.front().first + window_s_ < now)
+    window_.pop_front();
+}
+
+double MinRttTracker::min_rtt_s() const {
+  return window_.empty() ? -1.0 : window_.front().second;
+}
+
+}  // namespace jtp::core

@@ -1,0 +1,167 @@
+// Delivery-rate estimation (the modern-congestion-control substrate).
+//
+// The paper's rate controller (§5.2.1) reacts to explicit per-hop
+// available-rate feedback; modern practice estimates the path's delivery
+// capacity from per-ACK samples instead (Linux tcp_rate.c; Cardwell et
+// al., "BBR: Congestion-Based Congestion Control"). This header provides
+// that substrate, protocol-independently:
+//
+//   RateSampler         per-flow sender-side sampler. At transmit it
+//                       snapshots (delivered, delivered_time,
+//                       first_sent_time, app_limited); per ACK/SNACK it
+//                       generates a RateSample whose interval is the MAX
+//                       of the send interval and the ack interval —
+//                       equivalently bw = min(send_rate, ack_rate) — so
+//                       ACK compression can never fake a rate the path
+//                       cannot sustain. Windows in which the sender had
+//                       no data ready are marked app-limited.
+//   BandwidthEstimator  windowed max-filter over samples, keyed by
+//                       delivery rounds. App-limited samples never raise
+//                       the estimate (they measure the application, not
+//                       the path).
+//   MinRttTracker       windowed min-filter over RTT samples, keyed by
+//                       time.
+//
+// The sampler is transport-agnostic: eJTP's SNACK stream, TCP-SACK's
+// hole lists and plain cumulative ACKs all reduce to "these sequence
+// numbers were newly delivered at time t" (on_delivered), followed by
+// one take_sample per feedback packet.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+
+#include "core/types.h"
+
+namespace jtp::core {
+
+// One per-ACK delivery-rate sample.
+struct RateSample {
+  bool valid = false;         // false: no usable interval (ignore)
+  double bw_pps = 0.0;        // delivered / interval = min(send, ack) rate
+  double interval_s = 0.0;    // max(send interval, ack interval)
+  double send_interval_s = 0.0;
+  double ack_interval_s = 0.0;
+  std::uint64_t delivered = 0;  // packets delivered over the interval
+  double rtt_s = -1.0;          // send->delivery time of the probe packet
+  bool app_limited = false;     // window overlapped app-limited sending
+};
+
+struct RateSamplerConfig {
+  // Samples whose interval is below this are noise (a single ACK burst),
+  // not a rate; they come back with valid=false.
+  double min_interval_s = 1e-9;
+};
+
+class RateSampler {
+ public:
+  explicit RateSampler(RateSamplerConfig cfg = {}) : cfg_(cfg) {}
+
+  // Transmit-time snapshot for `seq` (retransmissions overwrite the
+  // record, so a later sample measures the latest flight — Karn's rule).
+  // When nothing is in flight the sampling window restarts at `now`:
+  // idle time must never be billed to the path as slowness.
+  void on_sent(SeqNo seq, double now);
+
+  // One newly delivered sequence number (cumulative-ack advance, SACK /
+  // SNACK hole closure — the caller decodes its own feedback format).
+  // Idempotent per seq (crediting consumes the transmit record), so a
+  // hole closed by SNACK and later swept by a cumulative advance counts
+  // once. Call before take_sample for every seq the ACK newly covers.
+  void on_delivered(SeqNo seq, double now);
+
+  // Finishes the ACK: the delivery-rate sample over the window of the
+  // most recently sent packet this ACK delivered. Resets the per-ACK
+  // accumulation; returns valid=false if the ACK delivered nothing new
+  // or the interval is unusable.
+  RateSample take_sample(double now);
+
+  // The application had no data ready while `in_flight` packets were
+  // outstanding: samples windowed over this period must not be allowed
+  // to lower (or, in the estimator, raise) the path estimate. The mark
+  // clears itself once everything outstanding at the mark is delivered.
+  void mark_app_limited(std::uint64_t in_flight);
+
+  // Drop transmit records below `seq` (cumulatively acknowledged or
+  // waived — their flight is over even if no sample used them).
+  void discard_below(SeqNo seq);
+
+  // --- instrumentation ---
+  std::uint64_t delivered_count() const { return delivered_; }
+  std::uint64_t packets_in_flight() const { return records_.size(); }
+  bool app_limited() const { return app_limited_until_ != 0; }
+  std::uint64_t samples_taken() const { return samples_taken_; }
+
+ private:
+  struct TxRecord {
+    double sent_time = 0.0;
+    double first_sent_time = 0.0;  // window start when this packet left
+    std::uint64_t delivered = 0;   // sampler delivered count at transmit
+    double delivered_time = 0.0;   // sampler delivered_time at transmit
+    bool app_limited = false;
+  };
+
+  RateSamplerConfig cfg_;
+  std::map<SeqNo, TxRecord> records_;
+
+  std::uint64_t delivered_ = 0;
+  double delivered_time_ = 0.0;
+  double first_sent_time_ = 0.0;
+  // Non-zero: delivered count up to which samples are app-limited
+  // (delivered + in-flight at the mark; 0 = not limited). The sentinel 1
+  // covers "limited before anything was delivered".
+  std::uint64_t app_limited_until_ = 0;
+
+  // Per-ACK accumulation: the snapshot of the most recently *sent*
+  // packet among those this ACK delivered (largest send time wins — its
+  // window is the freshest view of the path).
+  bool pending_ = false;
+  TxRecord pending_probe_;
+  double pending_probe_sent_ = -1.0;
+  double pending_rtt_ = -1.0;
+  std::uint64_t prior_delivered_ = 0;
+
+  std::uint64_t samples_taken_ = 0;
+};
+
+// Windowed max-filter over bandwidth samples, keyed by delivery rounds
+// (one round ~= one window's worth of deliveries), so a bandwidth spike
+// ages out after `window_rounds` rounds without deliveries re-proving it.
+class BandwidthEstimator {
+ public:
+  explicit BandwidthEstimator(std::uint64_t window_rounds = 10)
+      : window_rounds_(window_rounds) {}
+
+  // Feed one sample (invalid samples are ignored). `round` is the
+  // caller's delivery-round counter (see BbrModel / JtpDrSender).
+  void on_sample(const RateSample& s, std::uint64_t round);
+
+  double bw_pps() const;
+  bool has_estimate() const { return !window_.empty(); }
+  std::uint64_t app_limited_discards() const { return app_limited_discards_; }
+
+ private:
+  std::uint64_t window_rounds_;
+  // Monotonically decreasing (value) deque of (round, bw) maxima.
+  std::deque<std::pair<std::uint64_t, double>> window_;
+  std::uint64_t app_limited_discards_ = 0;
+};
+
+// Windowed min-filter over RTT samples, keyed by time.
+class MinRttTracker {
+ public:
+  explicit MinRttTracker(double window_s = 10.0) : window_s_(window_s) {}
+
+  void update(double rtt_s, double now);
+
+  double min_rtt_s() const;
+  bool has_estimate() const { return !window_.empty(); }
+
+ private:
+  double window_s_;
+  // Monotonically increasing (value) deque of (time, rtt) minima.
+  std::deque<std::pair<double, double>> window_;
+};
+
+}  // namespace jtp::core

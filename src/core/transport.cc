@@ -8,7 +8,9 @@ std::string proto_name(Proto p) {
     case Proto::kJnc: return "jnc";
     case Proto::kTcp: return "tcp";
     case Proto::kAtp: return "atp";
-    case Proto::kJtpFf: return "jtp-ff";
+    case Proto::kJtpFf: return "jtp_ff";
+    case Proto::kJtpDr: return "jtp_dr";
+    case Proto::kBbr: return "bbr";
   }
   return "?";
 }
@@ -18,10 +20,9 @@ std::optional<Proto> parse_proto(std::string_view name) {
   if (name == "jnc") return Proto::kJnc;
   if (name == "tcp") return Proto::kTcp;
   if (name == "atp") return Proto::kAtp;
-  // kJtpFf is deliberately not CLI-parseable: it is only runnable after
-  // an explicit TransportRegistry registration (see transport_test.cc),
-  // and a parseable-but-unregistered name would turn bench flag errors
-  // into uncaught exceptions.
+  if (name == "jtp_ff" || name == "jtp-ff") return Proto::kJtpFf;
+  if (name == "jtp_dr" || name == "jtp-dr") return Proto::kJtpDr;
+  if (name == "bbr") return Proto::kBbr;
   return std::nullopt;
 }
 

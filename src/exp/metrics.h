@@ -26,6 +26,16 @@ struct RunMetrics {
   std::uint64_t transmissions = 0;
   std::vector<double> per_node_energy_j;
 
+  // Per-flow distribution metrics (ROADMAP "metrics that matter"):
+  // Jain's fairness index (Σx)²/(n·Σx²) over per-flow delivered packets
+  // (1 = perfectly fair, 1/n = one flow starves the rest; 0 only when
+  // nothing was delivered at all), and the p99 (nearest-rank) completion
+  // latency over flows that finished their bounded transfer (0 when none
+  // did — e.g. long-lived on_off/fan_in flows). Both are pure functions
+  // of per-flow counters, hence K-invariant under sharding.
+  double jain_fairness = 0.0;
+  double p99_completion_s = 0.0;
+
   // µJ per delivered application bit; 0 when nothing was delivered.
   double energy_per_bit_uj() const {
     if (delivered_payload_bits <= 0.0) return 0.0;

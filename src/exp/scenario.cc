@@ -231,7 +231,7 @@ std::string apply_pair(ScenarioSpec& spec, const std::string& key,
                       "a probability in [0, 1]");
   if (key == "proto") {
     const auto p = parse_proto(value);
-    if (!p) return bad_value(key, value, "a protocol (jtp, jnc, tcp, atp)");
+    if (!p) return bad_value(key, value, "a protocol (jtp, jnc, tcp, atp, jtp_ff, jtp_dr, bbr)");
     spec.proto = *p;
     return "";
   }

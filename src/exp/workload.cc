@@ -1,6 +1,8 @@
 #include "exp/workload.h"
 
+#include <algorithm>
 #include <stdexcept>
+#include <vector>
 
 namespace jtp::exp {
 
@@ -63,6 +65,8 @@ RunMetrics FlowManager::collect(double duration_s) const {
   m.transmissions = net_.total_transmissions();
 
   double goodput_sum = 0.0;
+  double fair_sum = 0.0, fair_sq = 0.0;
+  std::vector<double> completions;
   for (const auto& f : flows_) {
     m.delivered_payload_bits += f->delivered_bits();
     m.delivered_packets += f->delivered_packets();
@@ -70,6 +74,11 @@ RunMetrics FlowManager::collect(double duration_s) const {
     m.data_packets_sent += f->data_sent();
     m.source_retransmissions += f->source_rtx();
     m.acks_sent += f->acks_sent();
+    const double x = static_cast<double>(f->delivered_packets());
+    fair_sum += x;
+    fair_sq += x * x;
+    if (f->completed_at > 0)
+      completions.push_back(f->completed_at - f->start_time);
     // Goodput denominator: a finished transfer is judged on its own
     // completion time, not the experiment horizon.
     const double end = f->completed_at > 0 ? f->completed_at : duration_s;
@@ -78,6 +87,17 @@ RunMetrics FlowManager::collect(double duration_s) const {
   }
   if (!flows_.empty())
     m.per_flow_goodput_kbps_mean = goodput_sum / flows_.size();
+  // Jain's fairness index over per-flow delivered packets.
+  if (fair_sq > 0.0)
+    m.jain_fairness = fair_sum * fair_sum /
+                      (static_cast<double>(flows_.size()) * fair_sq);
+  // p99 completion latency, nearest-rank, over finished transfers.
+  if (!completions.empty()) {
+    std::sort(completions.begin(), completions.end());
+    const std::size_t rank =
+        (completions.size() * 99 + 99) / 100;  // ceil(0.99·n), 1-based
+    m.p99_completion_s = completions[std::min(rank, completions.size()) - 1];
+  }
   return m;
 }
 

@@ -4,8 +4,10 @@
 #include <stdexcept>
 
 #include "baselines/atp.h"
+#include "baselines/bbr.h"
 #include "baselines/tcp_sack.h"
 #include "core/ejtp_sender.h"
+#include "core/jtp_dr.h"
 #include "net/network.h"
 
 namespace jtp::net {
@@ -108,6 +110,119 @@ class AtpFactory final : public TransportFactory {
   }
 };
 
+// JTP with the receiver's feedback clock pinned to a constant rate — an
+// ablation of the adaptive T controller (paper §5.1). Pure delegation to
+// the JTP factory with two FlowOptions overridden; this was the
+// test-local proof of the zero-edit registry seam (PR 4) and is now a
+// permanent registrant.
+class JtpFixedFeedbackFactory final : public TransportFactory {
+ public:
+  explicit JtpFixedFeedbackFactory(
+      std::shared_ptr<const TransportFactory> base)
+      : base_(std::move(base)) {}
+
+  TransportEndpoints make(Network& net, core::FlowId flow, core::NodeId src,
+                          core::NodeId dst, const FlowOptions& opt,
+                          const PathInfo& path) const override {
+    FlowOptions o = opt;
+    o.feedback_mode = core::FeedbackMode::kConstant;
+    o.constant_feedback_rate_pps = 0.5;  // fixed 2 s feedback period
+    return base_->make(net, flow, src, dst, o, path);
+  }
+
+ private:
+  std::shared_ptr<const TransportFactory> base_;
+};
+
+// Delivery-rate-adaptive JTP: the stock eJTP endpoint pair, but the
+// sender is wrapped so the PI²/MD input Ā is a sender-side delivery-rate
+// estimate instead of the destination's per-hop idle-rate aggregate.
+class JtpDrFactory final : public TransportFactory {
+ public:
+  TransportEndpoints make(Network& net, core::FlowId flow, core::NodeId src,
+                          core::NodeId dst, const FlowOptions& opt,
+                          const PathInfo& path) const override {
+    const double capacity = path.node_capacity_pps;
+    const double rate_cap = std::min(opt.app_delivery_cap_pps, capacity);
+    const double rate_floor = std::max(0.1, 0.07 * capacity);
+
+    core::SenderConfig s;
+    s.flow = flow;
+    s.src = src;
+    s.dst = dst;
+    s.loss_tolerance = opt.loss_tolerance;
+    s.initial_rate_pps = opt.initial_rate_pps;
+    s.initial_energy_budget = opt.initial_energy_budget;
+    s.backoff_for_local_recovery = opt.backoff_for_local_recovery;
+    s.min_rate_pps = rate_floor;
+
+    core::ReceiverConfig r;
+    r.flow = flow;
+    r.src = src;
+    r.dst = dst;
+    r.loss_tolerance = opt.loss_tolerance;
+    r.feedback_mode = opt.feedback_mode;
+    r.constant_feedback_rate_pps = opt.constant_feedback_rate_pps;
+    r.t_lower_bound_s = opt.t_lower_bound_s;
+    r.rtt_estimate_s = path.rtt_estimate_s;
+    r.energy_beta = opt.energy_beta;
+    r.app_delivery_cap_pps = opt.app_delivery_cap_pps;
+    r.monitor = opt.monitor;
+    r.cache_size_packets = net.config().node.ijtp.cache_capacity_packets;
+    r.rate.initial_rate_pps = opt.initial_rate_pps;
+    r.rate.delta_pps = 0.15 * capacity;
+    r.rate.min_rate_pps = rate_floor;
+    r.rate.max_rate_pps = rate_cap;
+
+    core::JtpDrConfig dr;
+    dr.rate.initial_rate_pps = opt.initial_rate_pps;
+    // δ for a *delivery-rate* Ā is a collapse guard, not a headroom
+    // target (see JtpDrConfig): per-flow delivery under fair sharing sits
+    // far below capacity without meaning congestion.
+    dr.rate.delta_pps = 0.02 * capacity;
+    dr.rate.min_rate_pps = rate_floor;
+    dr.rate.max_rate_pps = rate_cap;
+
+    TransportEndpoints eps;
+    eps.sender = std::make_unique<core::JtpDrSender>(net.env_for(src),
+                                                     net.node(src), s, dr);
+    eps.receiver = std::make_unique<core::EjtpReceiver>(net.env_for(dst),
+                                                        net.node(dst), r);
+    return eps;
+  }
+};
+
+// BBR-style pacing over the TCP-SACK feedback channel: same receiver,
+// same headers, same ACK cadence as kTcp — only the sender's
+// congestion-control model differs.
+class BbrFactory final : public TransportFactory {
+ public:
+  TransportEndpoints make(Network& net, core::FlowId flow, core::NodeId src,
+                          core::NodeId dst, const FlowOptions& opt,
+                          const PathInfo& path) const override {
+    baselines::BbrConfig c;
+    c.flow = flow;
+    c.src = src;
+    c.dst = dst;
+    c.initial_rate_pps = opt.initial_rate_pps;
+    c.initial_rtt_s = path.rtt_estimate_s;
+    c.max_rate_pps = 4.0 * path.node_capacity_pps;
+
+    baselines::TcpConfig t;
+    t.flow = flow;
+    t.src = src;
+    t.dst = dst;
+    t.initial_rtt_s = path.rtt_estimate_s;
+
+    TransportEndpoints eps;
+    eps.sender = std::make_unique<baselines::BbrSender>(net.env_for(src),
+                                                        net.node(src), c);
+    eps.receiver = std::make_unique<baselines::TcpSackReceiver>(
+        net.env_for(dst), net.node(dst), t);
+    return eps;
+  }
+};
+
 }  // namespace
 
 TransportRegistry::TransportRegistry() {
@@ -118,6 +233,12 @@ TransportRegistry::TransportRegistry() {
        std::make_shared<const TcpFactory>()});
   add({Proto::kAtp, HopPolicy::kRateStamp, /*caching=*/true,
        std::make_shared<const AtpFactory>()});
+  add({Proto::kJtpFf, HopPolicy::kIjtp, /*caching=*/true,
+       std::make_shared<const JtpFixedFeedbackFactory>(jtp)});
+  add({Proto::kJtpDr, HopPolicy::kIjtp, /*caching=*/true,
+       std::make_shared<const JtpDrFactory>()});
+  add({Proto::kBbr, HopPolicy::kPlain, /*caching=*/true,
+       std::make_shared<const BbrFactory>()});
 }
 
 TransportRegistry& TransportRegistry::instance() {

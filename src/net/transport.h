@@ -123,8 +123,10 @@ struct TransportInfo {
   std::shared_ptr<const TransportFactory> factory;
 };
 
-// Process-wide protocol registry. The four paper protocols are registered
-// on first use; additional protocols must be registered before any
+// Process-wide protocol registry. The builtin protocols (the four paper
+// protocols plus the jtp_ff ablation and the delivery-rate transports
+// jtp_dr/bbr) are registered on first use; additional protocols must be
+// registered before any
 // simulation threads start (registration and lookup are mutex-guarded,
 // but the entries themselves are immutable once added — this is the one
 // deliberate process-global in the stack, and it holds no per-run state,
@@ -147,7 +149,7 @@ class TransportRegistry {
   std::vector<Proto> protos() const;
 
  private:
-  TransportRegistry();  // registers the builtin jtp/jnc/tcp/atp
+  TransportRegistry();  // registers the builtins (jtp … jtp_dr, bbr)
 
   mutable std::mutex mu_;
   std::deque<TransportInfo> entries_;  // deque: info() refs stay valid

@@ -330,8 +330,12 @@ TEST(FlowManager, ProtoNames) {
   EXPECT_EQ(proto_name(Proto::kJnc), "jnc");
   EXPECT_EQ(proto_name(Proto::kTcp), "tcp");
   EXPECT_EQ(proto_name(Proto::kAtp), "atp");
+  EXPECT_EQ(proto_name(Proto::kJtpDr), "jtp_dr");
+  EXPECT_EQ(proto_name(Proto::kBbr), "bbr");
   EXPECT_EQ(parse_proto("jtp"), Proto::kJtp);
   EXPECT_EQ(parse_proto("atp"), Proto::kAtp);
+  EXPECT_EQ(parse_proto("jtp_dr"), Proto::kJtpDr);
+  EXPECT_EQ(parse_proto("bbr"), Proto::kBbr);
   EXPECT_FALSE(parse_proto("sctp").has_value());
 }
 
@@ -595,6 +599,44 @@ TEST(ShardDeterminism, ScaleScenarioIsBitIdenticalAcrossShardCounts) {
     for (std::size_t i = 0; i < ref.per_node_energy_j.size(); ++i)
       ASSERT_DOUBLE_EQ(got.per_node_energy_j[i], ref.per_node_energy_j[i])
           << "node " << i;
+  }
+}
+
+// The delivery-rate transports keep the same contract: their sampler /
+// model state lives entirely on the flow endpoints, so sharding the
+// event loop under them must not perturb a single sample. A smaller
+// field than the kJtp test keeps the added runtime modest while still
+// partitioning into real shards at K=4.
+TEST(ShardDeterminism, DeliveryRateProtosAreBitIdenticalAcrossShardCounts) {
+  for (const auto proto : {Proto::kJtpDr, Proto::kBbr}) {
+    SCOPED_TRACE(proto_name(proto));
+    auto run = [&](std::size_t shards) {
+      auto sc = preset("scale");
+      sc.net_size = 100;
+      sc.seed = 5;
+      sc.proto = proto;
+      sc.mac = mac::Mac::kTdmaReuse;
+      sc.shards = shards;
+      auto s = build(sc);
+      s.network->run_until(40.0);
+      return s.flows->collect(40.0);
+    };
+    const auto ref = run(1);
+    EXPECT_GT(ref.delivered_packets, 0u);
+    for (const std::size_t k : {std::size_t{2}, std::size_t{4}}) {
+      SCOPED_TRACE("shards=" + std::to_string(k));
+      const auto got = run(k);
+      EXPECT_EQ(got.delivered_packets, ref.delivered_packets);
+      EXPECT_EQ(got.delivered_payload_bits, ref.delivered_payload_bits);
+      EXPECT_EQ(got.data_packets_sent, ref.data_packets_sent);
+      EXPECT_EQ(got.acks_sent, ref.acks_sent);
+      EXPECT_EQ(got.transmissions, ref.transmissions);
+      EXPECT_DOUBLE_EQ(got.per_flow_goodput_kbps_mean,
+                       ref.per_flow_goodput_kbps_mean);
+      EXPECT_DOUBLE_EQ(got.jain_fairness, ref.jain_fairness);
+      EXPECT_DOUBLE_EQ(got.p99_completion_s, ref.p99_completion_s);
+      EXPECT_DOUBLE_EQ(got.total_energy_j, ref.total_energy_j);
+    }
   }
 }
 

@@ -1,0 +1,224 @@
+// Tests for the delivery-rate estimation substrate (core/rate_sample.h):
+// RateSampler against hand-computed send/deliver timelines, and the
+// BandwidthEstimator / MinRttTracker windowed filters. Every expected
+// value below is derived by hand from the tcp_rate.c sampling rules
+// stated in the header: bw = delivered / max(send interval, ack
+// interval), probe = most recently sent packet the ACK delivered.
+#include <gtest/gtest.h>
+
+#include "core/rate_sample.h"
+
+namespace jtp::core {
+namespace {
+
+RateSample synthetic(double bw_pps, bool app_limited) {
+  RateSample s;
+  s.valid = true;
+  s.bw_pps = bw_pps;
+  s.app_limited = app_limited;
+  return s;
+}
+
+// Four packets paced out at 1 packet/s, their ACKs arriving compressed
+// into a burst. The ack interval alone would claim 2 pkt/s; the
+// max(send, ack) rule clamps the sample to the 1 pkt/s send rate.
+TEST(RateSampler, AckCompressionClampsToSendRate) {
+  RateSampler rs;
+  rs.on_sent(0, 0.0);
+  rs.on_sent(1, 1.0);
+  rs.on_sent(2, 2.0);
+
+  // First ACK covers seq 0 only and seeds delivered_time = 2.5.
+  rs.on_delivered(0, 2.5);
+  auto first = rs.take_sample(2.5);
+  ASSERT_TRUE(first.valid);
+  EXPECT_DOUBLE_EQ(first.rtt_s, 2.5);
+
+  rs.on_sent(3, 3.0);
+
+  // Compressed burst: one ACK delivers seqs 1..3 at t=4. Probe = seq 3
+  // (most recently sent). Send interval: 3.0 - 0.0 = 3 s for 3 packets;
+  // ack interval: 4.0 - 2.5 = 1.5 s. The compressed ack interval would
+  // fake 2 pkt/s — the sample must report the 1 pkt/s send rate.
+  rs.on_delivered(1, 4.0);
+  rs.on_delivered(2, 4.0);
+  rs.on_delivered(3, 4.0);
+  const auto s = rs.take_sample(4.0);
+  ASSERT_TRUE(s.valid);
+  EXPECT_EQ(s.delivered, 3u);
+  EXPECT_DOUBLE_EQ(s.send_interval_s, 3.0);
+  EXPECT_DOUBLE_EQ(s.ack_interval_s, 1.5);
+  EXPECT_DOUBLE_EQ(s.interval_s, 3.0);
+  EXPECT_DOUBLE_EQ(s.bw_pps, 1.0);
+  EXPECT_DOUBLE_EQ(s.rtt_s, 1.0);  // seq 3: sent 3.0, delivered 4.0
+}
+
+// A SNACK closes a hole; a later cumulative advance sweeps the same seq.
+// Crediting consumes the transmit record, so the second report is a
+// no-op and delivered_count stays honest.
+TEST(RateSampler, SnackPartialDeliveryCreditsEachSeqOnce) {
+  RateSampler rs;
+  rs.on_sent(0, 0.0);
+  rs.on_sent(1, 0.5);
+  rs.on_sent(2, 1.0);
+  rs.on_sent(3, 1.5);
+
+  // SNACK at t=2: seqs 0,1,3 delivered, seq 2 is the hole.
+  rs.on_delivered(0, 2.0);
+  rs.on_delivered(1, 2.0);
+  rs.on_delivered(3, 2.0);
+  const auto partial = rs.take_sample(2.0);
+  ASSERT_TRUE(partial.valid);
+  EXPECT_EQ(partial.delivered, 3u);
+  // Probe = seq 3: send interval 1.5 - 0 = 1.5, ack interval 2.0 - 0 =
+  // 2.0 (delivered_time still at the window start) => bw = 3 / 2.
+  EXPECT_DOUBLE_EQ(partial.bw_pps, 1.5);
+  EXPECT_EQ(rs.delivered_count(), 3u);
+  EXPECT_EQ(rs.packets_in_flight(), 1u);  // only the hole remains
+
+  // Retransmit the hole; the record is overwritten (Karn's rule), so
+  // the eventual sample measures the second flight, not the lost one.
+  rs.on_sent(2, 2.5);
+
+  // Cumulative advance to 4 at t=3: the decoder reports every newly
+  // covered seq, including the three already credited via the SNACK.
+  rs.on_delivered(0, 3.0);  // no-op: record consumed at t=2
+  rs.on_delivered(1, 3.0);  // no-op
+  rs.on_delivered(2, 3.0);  // the hole, finally delivered
+  rs.on_delivered(3, 3.0);  // no-op
+  EXPECT_EQ(rs.delivered_count(), 4u);  // not 7: once per seq
+
+  const auto s = rs.take_sample(3.0);
+  ASSERT_TRUE(s.valid);
+  EXPECT_EQ(s.delivered, 1u);
+  // Probe = retransmitted seq 2: send interval 2.5 - 1.5 = 1.0, ack
+  // interval 3.0 - 2.0 = 1.0, rtt measured on the retransmission.
+  EXPECT_DOUBLE_EQ(s.interval_s, 1.0);
+  EXPECT_DOUBLE_EQ(s.bw_pps, 1.0);
+  EXPECT_DOUBLE_EQ(s.rtt_s, 0.5);
+  EXPECT_EQ(rs.packets_in_flight(), 0u);
+}
+
+// After everything in flight drains, a long idle gap must not be billed
+// to the path: the window restarts at the next transmit.
+TEST(RateSampler, IdleGapResetsTheSamplingWindow) {
+  RateSampler rs;
+  rs.on_sent(0, 0.0);
+  rs.on_delivered(0, 1.0);
+  ASSERT_TRUE(rs.take_sample(1.0).valid);
+
+  // 99 seconds of silence, then one more exchange.
+  rs.on_sent(1, 100.0);
+  rs.on_delivered(1, 101.0);
+  const auto s = rs.take_sample(101.0);
+  ASSERT_TRUE(s.valid);
+  // Window restarted at t=100: interval is the 1-second ack interval,
+  // not the 100-second span since the previous delivery.
+  EXPECT_DOUBLE_EQ(s.ack_interval_s, 1.0);
+  EXPECT_DOUBLE_EQ(s.interval_s, 1.0);
+  EXPECT_DOUBLE_EQ(s.bw_pps, 1.0);
+}
+
+// The app-limited mark taints packets sent while it is up and clears
+// once everything outstanding at the mark has been delivered.
+TEST(RateSampler, AppLimitedMarkTaintsAndExpires) {
+  RateSampler rs;
+  rs.on_sent(0, 0.0);
+  rs.mark_app_limited(1);  // seq 0 in flight, nothing delivered yet
+  EXPECT_TRUE(rs.app_limited());
+
+  rs.on_sent(1, 0.5);  // snapshotted under the mark
+
+  rs.on_delivered(0, 1.0);
+  auto s0 = rs.take_sample(1.0);
+  ASSERT_TRUE(s0.valid);
+  // Seq 0 was snapshotted *before* the mark: its window is clean.
+  EXPECT_FALSE(s0.app_limited);
+  EXPECT_TRUE(rs.app_limited());  // mark expires at delivered > 1
+
+  rs.on_delivered(1, 1.5);
+  auto s1 = rs.take_sample(1.5);
+  ASSERT_TRUE(s1.valid);
+  EXPECT_TRUE(s1.app_limited);   // sent under the mark
+  EXPECT_FALSE(rs.app_limited());  // delivered = 2 > mark
+
+  rs.on_sent(2, 2.0);  // post-expiry sends are clean again
+  rs.on_delivered(2, 2.5);
+  EXPECT_FALSE(rs.take_sample(2.5).app_limited);
+}
+
+TEST(RateSampler, NoNewDeliveryYieldsInvalidSample) {
+  RateSampler rs;
+  EXPECT_FALSE(rs.take_sample(1.0).valid);  // nothing ever delivered
+  rs.on_sent(0, 0.0);
+  rs.on_delivered(0, 1.0);
+  EXPECT_TRUE(rs.take_sample(1.0).valid);
+  // A duplicate ACK delivering nothing new: invalid, not a zero rate.
+  EXPECT_FALSE(rs.take_sample(2.0).valid);
+  EXPECT_EQ(rs.samples_taken(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(BandwidthEstimator, AppLimitedSamplesNeverRaiseTheEstimate) {
+  BandwidthEstimator bw(10);
+  EXPECT_FALSE(bw.has_estimate());
+
+  // With no estimate yet, even an app-limited sample seeds the filter
+  // (some signal beats none).
+  bw.on_sample(synthetic(1.0, true), 0);
+  EXPECT_DOUBLE_EQ(bw.bw_pps(), 1.0);
+
+  // An app-limited sample above the estimate measures the application,
+  // not the path: discarded.
+  bw.on_sample(synthetic(5.0, true), 1);
+  EXPECT_DOUBLE_EQ(bw.bw_pps(), 1.0);
+  EXPECT_EQ(bw.app_limited_discards(), 1u);
+
+  // The same rate from a non-limited window is believed.
+  bw.on_sample(synthetic(5.0, false), 1);
+  EXPECT_DOUBLE_EQ(bw.bw_pps(), 5.0);
+
+  // App-limited below the estimate is admitted (it may only lower).
+  bw.on_sample(synthetic(0.5, true), 2);
+  EXPECT_DOUBLE_EQ(bw.bw_pps(), 5.0);  // max filter still holds 5
+  EXPECT_EQ(bw.app_limited_discards(), 1u);
+
+  // Invalid samples are ignored outright.
+  bw.on_sample(RateSample{}, 3);
+  EXPECT_DOUBLE_EQ(bw.bw_pps(), 5.0);
+}
+
+TEST(BandwidthEstimator, SpikeAgesOutAfterWindowRounds) {
+  BandwidthEstimator bw(10);
+  bw.on_sample(synthetic(5.0, false), 1);
+  bw.on_sample(synthetic(2.0, false), 5);
+  EXPECT_DOUBLE_EQ(bw.bw_pps(), 5.0);
+  // Round 12: the round-1 spike is now > 10 rounds old and expires; the
+  // round-5 runner-up and the fresh sample compete for the max.
+  bw.on_sample(synthetic(1.0, false), 12);
+  EXPECT_DOUBLE_EQ(bw.bw_pps(), 2.0);
+}
+
+TEST(MinRttTracker, WindowedMinimumExpiresOldFloors) {
+  MinRttTracker rtt(10.0);
+  EXPECT_FALSE(rtt.has_estimate());
+  EXPECT_DOUBLE_EQ(rtt.min_rtt_s(), -1.0);
+
+  rtt.update(0.5, 0.0);
+  rtt.update(0.3, 1.0);
+  rtt.update(0.4, 2.0);
+  EXPECT_DOUBLE_EQ(rtt.min_rtt_s(), 0.3);
+
+  rtt.update(0.0, 3.0);   // non-positive samples are ignored
+  rtt.update(-1.0, 3.0);
+  EXPECT_DOUBLE_EQ(rtt.min_rtt_s(), 0.3);
+
+  // t=12: the t=1 floor is > 10 s old; the surviving minimum is the
+  // t=2 sample.
+  rtt.update(0.6, 12.0);
+  EXPECT_DOUBLE_EQ(rtt.min_rtt_s(), 0.4);
+}
+
+}  // namespace
+}  // namespace jtp::core

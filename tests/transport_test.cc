@@ -8,7 +8,9 @@
 #include <stdexcept>
 
 #include "baselines/atp.h"
+#include "baselines/bbr.h"
 #include "baselines/tcp_sack.h"
+#include "core/jtp_dr.h"
 #include "core/ejtp_receiver.h"
 #include "core/ejtp_sender.h"
 #include "core/transport.h"
@@ -27,11 +29,14 @@ using net::HopPolicy;
 using net::TransportRegistry;
 
 TEST(Proto, NamesRoundTrip) {
-  for (auto p : {Proto::kJtp, Proto::kJnc, Proto::kTcp, Proto::kAtp}) {
+  for (auto p : {Proto::kJtp, Proto::kJnc, Proto::kTcp, Proto::kAtp,
+                 Proto::kJtpFf, Proto::kJtpDr, Proto::kBbr}) {
     const auto back = parse_proto(proto_name(p));
     ASSERT_TRUE(back.has_value());
     EXPECT_EQ(*back, p);
   }
+  // Legacy spelling from the variant's test-local era stays parseable.
+  EXPECT_EQ(parse_proto("jtp-ff"), Proto::kJtpFf);
   EXPECT_FALSE(parse_proto("").has_value());
   EXPECT_FALSE(parse_proto("JTP").has_value());  // names are lowercase
   EXPECT_FALSE(parse_proto("udp").has_value());
@@ -39,9 +44,10 @@ TEST(Proto, NamesRoundTrip) {
 
 TEST(Registry, BuiltinsAreRegistered) {
   auto& reg = TransportRegistry::instance();
-  for (auto p : {Proto::kJtp, Proto::kJnc, Proto::kTcp, Proto::kAtp})
+  for (auto p : {Proto::kJtp, Proto::kJnc, Proto::kTcp, Proto::kAtp,
+                 Proto::kJtpFf, Proto::kJtpDr, Proto::kBbr})
     EXPECT_TRUE(reg.registered(p)) << proto_name(p);
-  EXPECT_GE(reg.protos().size(), 4u);
+  EXPECT_GE(reg.protos().size(), 7u);
 }
 
 TEST(Registry, HopPoliciesAndCachingMatchTheProtocols) {
@@ -50,8 +56,14 @@ TEST(Registry, HopPoliciesAndCachingMatchTheProtocols) {
   EXPECT_EQ(reg.info(Proto::kJnc).hop_policy, HopPolicy::kIjtp);
   EXPECT_EQ(reg.info(Proto::kTcp).hop_policy, HopPolicy::kPlain);
   EXPECT_EQ(reg.info(Proto::kAtp).hop_policy, HopPolicy::kRateStamp);
+  // The JTP variants keep full in-network help; BBR rides the plain
+  // TCP-style path.
+  EXPECT_EQ(reg.info(Proto::kJtpFf).hop_policy, HopPolicy::kIjtp);
+  EXPECT_EQ(reg.info(Proto::kJtpDr).hop_policy, HopPolicy::kIjtp);
+  EXPECT_EQ(reg.info(Proto::kBbr).hop_policy, HopPolicy::kPlain);
   EXPECT_TRUE(reg.caching_enabled(Proto::kJtp));
   EXPECT_FALSE(reg.caching_enabled(Proto::kJnc));
+  EXPECT_TRUE(reg.caching_enabled(Proto::kJtpDr));
 }
 
 TEST(Registry, DuplicateRegistrationThrows) {
@@ -208,53 +220,22 @@ TEST(ProtocolParity, PinnedSeedIsBitStableForEveryProto) {
 // --- the extension seam -----------------------------------------------------
 //
 // ROADMAP: "register an experimental protocol variant through the
-// registry to prove the extension seam". The variant below — JTP with
-// constant-rate ("fixed feedback") ACKing — becomes a first-class
-// protocol through exactly one TransportRegistry::add() call: no edits
-// to Network, Node, FlowManager, or any factory code. It delegates to
-// the already-registered kJtp factory and overrides one knob.
-//
-// Registration is process-global, but harmless here: under ctest every
-// TEST runs in its own process (gtest_discover_tests), and within one
-// process the ProtocolParity loops above tolerate the variant — it
-// passes the same parity and bit-stability checks as the builtins
-// (verified under --gtest_shuffle).
+// registry to prove the extension seam". That proof has since been
+// promoted into the production registry three times over: kJtpFf (JTP
+// with constant-rate "fixed feedback" ACKing), kJtpDr (JTP's PI²/MD fed
+// by a sender-side delivery-rate estimate) and kBbr (model-based pacing
+// over the TCP-SACK feedback channel) each became a first-class
+// protocol through exactly one TransportRegistry::add() call in the
+// registry's own constructor — no edits to Network, Node, FlowManager,
+// or any existing factory. The tests below pin down that each variant
+// really is reachable through the same ScenarioSpec -> build() ->
+// Network::add_flow entry points as the original four, and that the
+// endpoints behind the unified FlowHandle are the expected concrete
+// types with the expected behavior.
 
-class JtpFixedFeedbackFactory final : public net::TransportFactory {
- public:
-  explicit JtpFixedFeedbackFactory(
-      std::shared_ptr<const net::TransportFactory> base)
-      : base_(std::move(base)) {}
+TEST(ExtensionSeam, FixedFeedbackVariantIsABuiltin) {
+  ASSERT_TRUE(TransportRegistry::instance().registered(Proto::kJtpFf));
 
-  net::TransportEndpoints make(net::Network& net, core::FlowId flow,
-                               core::NodeId src, core::NodeId dst,
-                               const net::FlowOptions& opt,
-                               const net::PathInfo& path) const override {
-    net::FlowOptions o = opt;
-    o.feedback_mode = core::FeedbackMode::kConstant;
-    o.constant_feedback_rate_pps = 0.5;
-    return base_->make(net, flow, src, dst, o, path);
-  }
-
- private:
-  std::shared_ptr<const net::TransportFactory> base_;
-};
-
-TEST(ExtensionSeam, VariantRunsViaRegistryRegistrationAlone) {
-  auto& reg = TransportRegistry::instance();
-  if (!reg.registered(Proto::kJtpFf)) {
-    net::TransportInfo info;
-    info.proto = Proto::kJtpFf;
-    info.hop_policy = HopPolicy::kIjtp;  // full in-network help, like jtp
-    info.caching = true;
-    info.factory = std::make_shared<JtpFixedFeedbackFactory>(
-        reg.info(Proto::kJtp).factory);
-    reg.add(std::move(info));
-  }
-  ASSERT_TRUE(reg.registered(Proto::kJtpFf));
-
-  // The variant is now buildable through the exact same entry points as
-  // the builtins — ScenarioSpec -> build() -> Network::add_flow.
   auto s = exp::build(parity_spec(Proto::kJtpFf));
   s.network->run_until(1500.0);
   const auto& flow = *s.flows->flows().front();
@@ -266,6 +247,41 @@ TEST(ExtensionSeam, VariantRunsViaRegistryRegistrationAlone) {
   const auto* rcv = flow.receiver_as<core::EjtpReceiver>();
   ASSERT_NE(rcv, nullptr);
   EXPECT_DOUBLE_EQ(rcv->current_feedback_period(), 2.0);
+}
+
+TEST(ExtensionSeam, JtpDrWrapsAnEjtpFlowAndEstimatesBandwidth) {
+  auto s = exp::build(parity_spec(Proto::kJtpDr));
+  s.network->run_until(1500.0);
+  const auto& flow = *s.flows->flows().front();
+  EXPECT_TRUE(flow.finished());
+  EXPECT_GT(flow.delivered_packets(), 0u);
+
+  // The handle resolves to the wrapper, which exposes both the inner
+  // eJTP machinery and the delivery-rate instrumentation.
+  const auto* snd = flow.sender_as<core::JtpDrSender>();
+  ASSERT_NE(snd, nullptr);
+  EXPECT_NE(flow.receiver_as<core::EjtpReceiver>(), nullptr);
+  EXPECT_GT(snd->samples_taken(), 0u);
+  EXPECT_GT(snd->bw_estimate_pps(), 0.0);
+  EXPECT_GT(snd->min_rtt_s(), 0.0);
+  EXPECT_GE(snd->delivery_rounds(), 1u);
+}
+
+TEST(ExtensionSeam, BbrRunsOverTheTcpSackChannel) {
+  auto s = exp::build(parity_spec(Proto::kBbr));
+  s.network->run_until(1500.0);
+  const auto& flow = *s.flows->flows().front();
+  EXPECT_TRUE(flow.finished());
+  EXPECT_GT(flow.delivered_packets(), 0u);
+
+  const auto* snd = flow.sender_as<baselines::BbrSender>();
+  ASSERT_NE(snd, nullptr);
+  EXPECT_NE(flow.receiver_as<baselines::TcpSackReceiver>(), nullptr);
+  // A completed 40-packet transfer is more than enough to fill the pipe
+  // on a 4-node chain: the model must have left startup behind.
+  EXPECT_TRUE(snd->model().filled_pipe());
+  EXPECT_NE(snd->model().mode(), baselines::BbrModel::Mode::kStartup);
+  EXPECT_GT(snd->model().bw_pps(), 0.0);
 }
 
 }  // namespace
