@@ -291,6 +291,90 @@ void BM_RoutingRefresh(benchmark::State& state) {
 }
 BENCHMARK(BM_RoutingRefresh)->Arg(25)->Arg(400)->Unit(benchmark::kMicrosecond);
 
+// The churn kernel behind the incremental-repair claim: one node takes a
+// small (±1 m) step, the view refreshes, and 8 flow sources re-query their
+// next hops. With repair on, rows survive the step (most wiggles change no
+// edge; the rest patch a small subtree); with repair off, every step
+// invalidates all rows and the 8 queries each pay a fresh n-vertex BFS.
+// The /400 pair is the PR's acceptance gate: SmallMove must beat
+// FullRebuild by >= 10x.
+void route_churn_kernel(benchmark::State& state, bool incremental) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  sim::Rng rng(7);
+  auto topo = scale_field(n, rng);
+  sim::Simulator sim;
+  routing::RoutingConfig cfg;
+  cfg.incremental = incremental;
+  routing::LinkStateRouting r(sim, topo, cfg);
+  for (core::NodeId s = 1; s <= 8 && s < n; ++s)
+    benchmark::DoNotOptimize(r.next_hop(s, 0));  // warm the rows
+  auto mrng = rng.derive("moves");
+  core::NodeId mover = 1;
+  for (auto _ : state) {
+    const auto p = topo.position(mover);
+    topo.set_position(mover, {p.x + mrng.uniform(-1.0, 1.0),
+                              p.y + mrng.uniform(-1.0, 1.0)});
+    mover = static_cast<core::NodeId>(1 + (mover % (n - 1)));
+    r.refresh();
+    for (core::NodeId s = 1; s <= 8 && s < n; ++s)
+      benchmark::DoNotOptimize(r.next_hop(s, 0));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["rows_kept"] = static_cast<double>(r.stats().rows_kept);
+  state.counters["rows_repaired"] =
+      static_cast<double>(r.stats().rows_repaired);
+  state.counters["rows_built"] = static_cast<double>(r.stats().rows_built);
+  state.counters["repair_visits"] =
+      static_cast<double>(r.stats().repair_visits);
+}
+
+void BM_RouteRepairSmallMove(benchmark::State& state) {
+  route_churn_kernel(state, /*incremental=*/true);
+}
+BENCHMARK(BM_RouteRepairSmallMove)
+    ->Arg(25)
+    ->Arg(400)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_RouteRepairFullRebuild(benchmark::State& state) {
+  route_churn_kernel(state, /*incremental=*/false);
+}
+BENCHMARK(BM_RouteRepairFullRebuild)
+    ->Arg(25)
+    ->Arg(400)
+    ->Unit(benchmark::kMicrosecond);
+
+// The per-MAC-attempt channel path: transmission_lost on a warm link set
+// sized like a 400-node field (~4 links/node). One iteration = one dwell
+// lookup (undirected key) + one loss-stream lookup (directed key) + one
+// bernoulli draw; dwell flips are rare at this timescale, so the kernel
+// prices the two table lookups the packed-slot tables exist to make cheap.
+void BM_ChannelLossLookup(benchmark::State& state) {
+  phy::ChannelConfig cfg;
+  phy::Channel channel(cfg, sim::Rng(7).derive("channel"));
+  sim::Rng prng(11);
+  std::vector<std::pair<core::NodeId, core::NodeId>> links;
+  links.reserve(1600);
+  for (int k = 0; k < 1600; ++k) {
+    const auto a = static_cast<core::NodeId>(prng.integer(400));
+    auto b = static_cast<core::NodeId>(prng.integer(400));
+    if (b == a) b = static_cast<core::NodeId>((b + 1) % 400);
+    links.emplace_back(a, b);
+  }
+  sim::Time now = 0.0;
+  for (const auto& [a, b] : links)
+    benchmark::DoNotOptimize(channel.transmission_lost(a, b, now));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& [a, b] = links[i];
+    i = (i + 1) % links.size();
+    now += 1e-4;
+    benchmark::DoNotOptimize(channel.transmission_lost(a, b, now));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ChannelLossLookup);
+
 void BM_TdmaNextOwnedSlot(benchmark::State& state) {
   mac::TdmaSchedule s(static_cast<std::size_t>(state.range(0)), 0.035, 7);
   double t = 0.0;

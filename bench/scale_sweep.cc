@@ -12,8 +12,13 @@
 // scale. The headline contrast: classic TDMA throughput collapses as
 // 1/(n·slot) while spatial reuse holds the frame at the interference
 // chromatic bound, so aggregate delivery keeps growing with field area.
-// Add speed=1 via --scenario for the mobile variant, or
-// workload=on_off,transfer=50 for bursty sources.
+//
+// A second leg re-runs every MAC under 1 m/s random waypoint (the
+// scale_mobile preset) and reports the incremental-repair counters:
+// rows_kept + rows_repaired > 0 is the in-bench proof that topology
+// churn no longer discards the cached routing rows. Add speed=1 via
+// --scenario to make the *main* sweep mobile instead (the extra leg then
+// drops out), or workload=on_off,transfer=50 for bursty sources.
 //
 // Wall-clock columns are machine-dependent, so this bench is excluded
 // from the committed-baseline suite (like micro_perf). --deterministic
@@ -51,6 +56,9 @@ struct ScaleRun {
   double p99_s = 0.0;
   double rows_built = 0.0;
   double row_reuses = 0.0;
+  double rows_kept = 0.0;
+  double rows_repaired = 0.0;
+  double repair_visits = 0.0;
   double event_pool_hw = 0.0;
   double packet_pool_hw = 0.0;
 };
@@ -83,6 +91,9 @@ ScaleRun one_run(exp::ScenarioSpec spec, std::size_t n, std::uint64_t seed,
   r.snapshots = static_cast<double>(rs.snapshots);
   r.rows_built = static_cast<double>(rs.rows_built);
   r.row_reuses = static_cast<double>(rs.row_reuses);
+  r.rows_kept = static_cast<double>(rs.rows_kept);
+  r.rows_repaired = static_cast<double>(rs.rows_repaired);
+  r.repair_visits = static_cast<double>(rs.repair_visits);
   r.event_pool_hw =
       static_cast<double>(s.network->simulator().event_pool_stats().high_water);
   r.packet_pool_hw =
@@ -226,12 +237,73 @@ int main(int argc, char** argv) {
     bench::finish_report(rep);
     std::printf("\n");
   }
+
+  // Mobile leg: the same field under 1 m/s random waypoint (the
+  // scale_mobile preset), one report per MAC. Mobility pins shards = 1,
+  // so the incremental-repair counters are shard-invariant *results* —
+  // what the control plane computed, not how work was split — and stay
+  // in the --deterministic CSV. Skipped when the base sweep is already
+  // mobile (speed=... given via --scenario): the static legs above then
+  // carry the churn, and this would duplicate them.
+  if (base.speed_mps == 0.0) {
+    for (const mac::Mac m : macs) {
+      auto spec = base;
+      spec.mac = m;
+      spec.speed_mps = 1.0;
+      spec.shards = 1;  // mobility requires the classic single loop
+      std::vector<sim::Column> cols{{"net_size", 0}};
+      if (!deterministic) cols.push_back({"wall_s", 2, true});
+      cols.push_back({"pkts", 0});
+      for (const auto& c : std::vector<sim::Column>{{"xmits", 0},
+                                                    {"refreshes", 0},
+                                                    {"snapshots", 0},
+                                                    {"rows_kept", 0},
+                                                    {"rows_repaired", 0},
+                                                    {"repair_visits", 0},
+                                                    {"jain", 3},
+                                                    {"p99_done_s", 1}})
+        cols.push_back(c);
+      if (!deterministic) cols.push_back({"rows_built", 0});
+      auto rep = bench::make_report(opt, "mobile mac=" + mac::mac_name(m),
+                                    std::move(cols), 16,
+                                    "mobile_" + mac::mac_name(m));
+      rep.begin();
+      for (const std::size_t n : sizes) {
+        const auto runs = exp::run_seeds_as(
+            n_runs, opt.seed,
+            [&](std::uint64_t s) { return one_run(spec, n, s, duration); },
+            opt.jobs);
+        std::vector<sim::Cell> row{static_cast<double>(n)};
+        if (!deterministic) {
+          const auto ws = summarize(runs, &ScaleRun::wall_s);
+          row.push_back(sim::Cell(ws.mean(), ws.ci95_halfwidth()));
+        }
+        row.push_back(mean_of(runs, &ScaleRun::delivered));
+        row.push_back(mean_of(runs, &ScaleRun::transmissions));
+        row.push_back(mean_of(runs, &ScaleRun::refreshes));
+        row.push_back(mean_of(runs, &ScaleRun::snapshots));
+        row.push_back(mean_of(runs, &ScaleRun::rows_kept));
+        row.push_back(mean_of(runs, &ScaleRun::rows_repaired));
+        row.push_back(mean_of(runs, &ScaleRun::repair_visits));
+        row.push_back(mean_of(runs, &ScaleRun::jain));
+        row.push_back(mean_of(runs, &ScaleRun::p99_s));
+        if (!deterministic) row.push_back(mean_of(runs, &ScaleRun::rows_built));
+        rep.row(row);
+      }
+      bench::finish_report(rep);
+      std::printf("\n");
+    }
+  }
+
   std::printf(
       "expected shape: under mac=tdma, colors == n and per-flow delivery\n"
       "collapses as 1/(n*slot); under mac=tdma_reuse, colors tracks local\n"
       "density (reuse = n/colors grows with n), so aggregate pkts keeps\n"
       "growing with field area. rows_built stays near (sources on live\n"
       "paths) x (snapshots); the pool high-water marks grow with flows,\n"
-      "not with net_size.\n");
+      "not with net_size. In the mobile leg, rows_kept + rows_repaired\n"
+      "track the rows that survived each churned refresh, and\n"
+      "repair_visits / rows_repaired is the mean patched-subtree size\n"
+      "(vs net_size for a from-scratch row).\n");
   return 0;
 }

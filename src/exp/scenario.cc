@@ -125,13 +125,24 @@ ScenarioSpec preset(const std::string& name) {
     s.workload.stagger_s = 1.0;
     return s;
   }
+  if (name == "scale_mobile") {
+    // The scale tier under churn: same field, workload and slot as
+    // "scale", with every node on a 1 m/s random waypoint. This is the
+    // operating point the incremental route repair exists for — the
+    // control plane must absorb continuous position change without
+    // rebuilding the cached rows of the fan-in sources each refresh
+    // (bench/scale_sweep.cc reports rows_kept/rows_repaired for it).
+    s = preset("scale");
+    s.speed_mps = 1.0;
+    return s;
+  }
   throw std::invalid_argument(
       "unknown scenario preset '" + name +
-      "' (known: linear, random, mobile, testbed, scale)");
+      "' (known: linear, random, mobile, testbed, scale, scale_mobile)");
 }
 
 std::vector<std::string> preset_names() {
-  return {"linear", "random", "mobile", "testbed", "scale"};
+  return {"linear", "random", "mobile", "testbed", "scale", "scale_mobile"};
 }
 
 // ---------------------------------------------------------------------------

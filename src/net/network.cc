@@ -24,6 +24,11 @@ Network::Shard::Shard(const NetworkConfig& cfg, const phy::Topology& topo)
 
 Network::Network(phy::Topology topology, NetworkConfig cfg)
     : cfg_(cfg), rng_(cfg.seed), topo_(std::move(topology)) {
+  // Size the channel's per-link state tables from the node count when the
+  // scenario didn't: a connected random field carries ~4 links/node, and
+  // the reserve is what keeps the hot-path lookup rehash-free.
+  if (cfg_.channel.expected_links == 0)
+    cfg_.channel.expected_links = 4 * topo_.size();
   const std::size_t want = cfg.shards == 0 ? 1 : cfg.shards;
   if (want > 1) {
     if (cfg.mobility)

@@ -6,7 +6,10 @@
 namespace jtp::phy {
 
 Channel::Channel(ChannelConfig cfg, sim::Rng rng)
-    : cfg_(cfg), master_(std::move(rng)) {
+    : cfg_(cfg),
+      master_(std::move(rng)),
+      links_(cfg.expected_links),
+      loss_(cfg.expected_links) {
   if (cfg.bad_fraction < 0.0 || cfg.bad_fraction >= 1.0)
     throw std::invalid_argument("Channel: bad_fraction outside [0,1)");
   if (cfg.mean_bad_dwell_s <= 0.0)
@@ -23,16 +26,13 @@ Channel::LinkState& Channel::state_for(core::NodeId a, core::NodeId b) {
   const auto mm = std::minmax(a, b);
   const std::uint64_t key =
       (static_cast<std::uint64_t>(mm.first) << 32) | mm.second;
-  auto it = links_.find(key);
-  if (it == links_.end()) {
-    if (links_.empty()) links_.reserve(64);
+  return links_.find_or_create(key, [&] {
     LinkState s;
     s.rng = master_.derive("link", key);
     s.bad = false;
     s.next_flip = s.rng.exponential(mean_good_dwell_s());
-    it = links_.emplace(key, std::move(s)).first;
-  }
-  return it->second;
+    return s;
+  });
 }
 
 void Channel::advance(LinkState& s, sim::Time now) {
@@ -61,12 +61,8 @@ bool Channel::in_bad_state(core::NodeId a, core::NodeId b, sim::Time now) {
 
 sim::Rng& Channel::loss_rng_for(core::NodeId a, core::NodeId b) {
   const std::uint64_t key = (static_cast<std::uint64_t>(a) << 32) | b;
-  auto it = loss_.find(key);
-  if (it == loss_.end()) {
-    if (loss_.empty()) loss_.reserve(64);
-    it = loss_.emplace(key, master_.derive("loss", key)).first;
-  }
-  return it->second;
+  return loss_.find_or_create(key,
+                              [&] { return master_.derive("loss", key); });
 }
 
 bool Channel::transmission_lost(core::NodeId a, core::NodeId b,

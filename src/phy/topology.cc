@@ -18,6 +18,12 @@ Topology::Topology(std::size_t n_nodes, double radio_range_m)
     : pos_(n_nodes), range_(radio_range_m), cell_key_(n_nodes) {
   if (n_nodes == 0) throw std::invalid_argument("Topology: no nodes");
   if (radio_range_m <= 0) throw std::invalid_argument("Topology: bad range");
+  // Sized so a consumer syncing every few seconds of simulated mobility
+  // (routing refreshes every 5 s, waypoint updates every 1 s) never
+  // overflows: even with every node moving, 4 generations per node of
+  // slack covers the window.
+  move_ring_.assign(std::max<std::size_t>(64, 4 * n_nodes),
+                    core::kInvalidNode);
   const CellKey origin = cell_of(Position{});
   auto& cell = cells_[origin];
   cell.reserve(n_nodes);
@@ -43,6 +49,7 @@ Topology::CellKey Topology::cell_of(const Position& p) const {
 void Topology::set_position(core::NodeId id, Position p) {
   pos_.at(id) = p;
   ++generation_;
+  move_ring_[generation_ % move_ring_.size()] = id;
   const CellKey to = cell_of(p);
   const CellKey from = cell_key_[id];
   if (to == from) return;
@@ -54,6 +61,20 @@ void Topology::set_position(core::NodeId id, Position p) {
   if (old_cell.empty()) cells_.erase(from);
   cells_[to].push_back(id);
   cell_key_[id] = to;
+}
+
+bool Topology::moved_since(std::uint64_t gen,
+                           std::vector<core::NodeId>& out) const {
+  out.clear();
+  if (gen > generation_) return false;  // window from the future: no answer
+  const std::uint64_t span = generation_ - gen;
+  if (span == 0) return true;
+  if (span > move_ring_.size()) return false;  // ring overflowed the window
+  for (std::uint64_t g = gen + 1; g <= generation_; ++g)
+    out.push_back(move_ring_[g % move_ring_.size()]);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return true;
 }
 
 bool Topology::in_range(core::NodeId a, core::NodeId b) const {

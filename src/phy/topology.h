@@ -48,6 +48,19 @@ class Topology {
   // returning the same value guarantee no position changed in between.
   std::uint64_t generation() const { return generation_; }
 
+  // Fills `out` with the distinct nodes whose position changed in
+  // (gen, generation()], ascending. The answer comes from a bounded ring
+  // of recent moves (one entry per generation, capacity ~4n), so a
+  // consumer that syncs regularly pays O(moves since last sync) instead
+  // of re-snapshotting positions it already holds. Returns false when
+  // the window is no longer covered by the ring — the caller must treat
+  // that as "every node may have moved" and fall back to a full diff.
+  bool moved_since(std::uint64_t gen, std::vector<core::NodeId>& out) const;
+
+  // Capacity of the move ring (generations of history moved_since can
+  // reconstruct). Exposed for tests pinning the overflow fallback.
+  std::size_t move_history_capacity() const { return move_ring_.size(); }
+
   bool in_range(core::NodeId a, core::NodeId b) const;
   std::vector<core::NodeId> neighbors(core::NodeId id) const;
 
@@ -80,6 +93,10 @@ class Topology {
   std::vector<Position> pos_;
   double range_;
   std::uint64_t generation_ = 0;
+  // Ring of recent movers, indexed by generation % capacity: generation
+  // bumps exactly once per set_position, so the ring always holds the
+  // movers of the last `capacity` generations with no head pointer.
+  std::vector<core::NodeId> move_ring_;
   std::unordered_map<CellKey, std::vector<core::NodeId>> cells_;
   std::vector<CellKey> cell_key_;  // per node: the cell it is filed under
 };

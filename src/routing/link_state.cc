@@ -1,5 +1,6 @@
 #include "routing/link_state.h"
 
+#include <algorithm>
 #include <limits>
 #include <stdexcept>
 
@@ -19,9 +20,12 @@ LinkStateRouting::LinkStateRouting(sim::Simulator& sim,
       snapshot_gen_(topo.generation()) {
   if (cfg.refresh_interval_s <= 0)
     throw std::invalid_argument("LinkStateRouting: bad refresh interval");
+  if (cfg.repair_fraction < 0.0 || cfg.repair_fraction > 1.0)
+    throw std::invalid_argument("LinkStateRouting: bad repair fraction");
   const std::size_t n = topo_.size();
   dist_.assign(n * n, kUnreachable);
   next_.assign(n * n, core::kInvalidNode);
+  order_.assign(n * n, 0);
   row_epoch_.assign(n, 0);  // epoch_ starts at 1: no row is valid yet
   stats_.refreshes = 1;     // construction takes the first view
   stats_.snapshots = 1;
@@ -48,10 +52,157 @@ void LinkStateRouting::refresh() {
 
 void LinkStateRouting::sync_view() const {
   if (topo_.generation() == snapshot_gen_) return;  // view already current
+  ++stats_.snapshots;
+  if (cfg_.incremental && valid_rows_ > 0 &&
+      topo_.moved_since(snapshot_gen_, moved_scratch_) &&
+      sync_incremental(moved_scratch_))
+    return;
+  sync_full();
+}
+
+void LinkStateRouting::sync_full() const {
   snapshot_ = topo_;
   snapshot_gen_ = topo_.generation();
   ++epoch_;  // invalidates every row without touching them
-  ++stats_.snapshots;
+  valid_rows_ = 0;
+}
+
+bool LinkStateRouting::sync_incremental(
+    const std::vector<core::NodeId>& moved) const {
+  const std::size_t n = snapshot_.size();
+  if (static_cast<double>(moved.size()) > cfg_.repair_fraction * n)
+    return false;  // mass churn: one big invalidation beats many diffs
+
+  // Old adjacency of every mover (against the all-old snapshot), then
+  // apply the moves, then diff against the all-new adjacency. An edge can
+  // only change if it is incident to a mover, so the union of per-mover
+  // symmetric differences is exactly the changed-edge set.
+  old_nbrs_flat_.clear();
+  old_nbrs_offset_.clear();
+  for (const core::NodeId m : moved) {
+    old_nbrs_offset_.push_back(old_nbrs_flat_.size());
+    snapshot_.neighbors_into(m, bfs_nbrs_);
+    old_nbrs_flat_.insert(old_nbrs_flat_.end(), bfs_nbrs_.begin(),
+                          bfs_nbrs_.end());
+  }
+  old_nbrs_offset_.push_back(old_nbrs_flat_.size());
+  for (const core::NodeId m : moved)
+    snapshot_.set_position(m, topo_.position(m));
+  snapshot_gen_ = topo_.generation();
+
+  changed_edges_.clear();
+  for (std::size_t i = 0; i < moved.size(); ++i) {
+    const core::NodeId m = moved[i];
+    snapshot_.neighbors_into(m, bfs_nbrs_);
+    const auto* old_begin = old_nbrs_flat_.data() + old_nbrs_offset_[i];
+    const auto* old_end = old_nbrs_flat_.data() + old_nbrs_offset_[i + 1];
+    const auto* nw = bfs_nbrs_.data();
+    const auto* nw_end = nw + bfs_nbrs_.size();
+    // Both lists ascending: linear merge, either side of the symmetric
+    // difference is an edge that appeared or vanished. An edge between
+    // two movers shows up twice ((m,x) and (x,m)) — harmless below.
+    while (old_begin != old_end || nw != nw_end) {
+      if (nw == nw_end || (old_begin != old_end && *old_begin < *nw)) {
+        changed_edges_.emplace_back(m, *old_begin++);
+      } else if (old_begin == old_end || *nw < *old_begin) {
+        changed_edges_.emplace_back(m, *nw++);
+      } else {
+        ++old_begin;
+        ++nw;
+      }
+    }
+  }
+
+  if (changed_edges_.empty()) {
+    // Pure position wiggle: nobody crossed a range boundary, so the graph
+    // — and every cached row — is untouched.
+    stats_.rows_kept += valid_rows_;
+    return true;
+  }
+
+  const auto reset_limit =
+      static_cast<std::size_t>(cfg_.repair_fraction * static_cast<double>(n));
+  for (core::NodeId s = 0; s < n; ++s) {
+    if (row_epoch_[s] != epoch_) continue;  // stale anyway: rebuilt on demand
+    const int* dist = dist_.data() + static_cast<std::size_t>(s) * n;
+    // dmin: the closest the change comes to this source. No path of
+    // length <= dmin can traverse a changed edge, so everything at
+    // dist <= dmin (distance AND first hop) is provably unaffected.
+    // Equal-level edges are no-ops for this row and don't lower the cut:
+    // a level-d vertex is discovered while level d-1 is processed, so an
+    // edge between two level-d vertices never carries a discovery — a
+    // removed one was unused, and an added one cannot cause a first
+    // divergence from the fresh build (both ends are already discovered,
+    // identically, by the time either is processed).
+    int dmin = kUnreachable;
+    for (const auto& e : changed_edges_) {
+      const int du = dist[e.first];
+      const int dv = dist[e.second];
+      if (du == dv) continue;  // same level (or both unreachable): no-op
+      dmin = std::min(dmin, std::min(du, dv));
+    }
+    if (dmin == kUnreachable) {
+      // Every changed edge is a no-op for this row: equal-level, or
+      // between unreachable vertices (reachability cannot grow from
+      // those — reaching a new edge would require reaching an endpoint).
+      ++stats_.rows_kept;
+      continue;
+    }
+    // Repair cost estimate: the reachable vertices past dmin that must be
+    // re-derived. Unreachable vertices don't count — if an inserted edge
+    // connects a new region, visiting it is work a full rebuild would
+    // have paid too.
+    std::size_t reset = 0;
+    for (std::size_t d = 0; d < n; ++d)
+      if (dist[d] > dmin && dist[d] != kUnreachable) ++reset;
+    if (reset > reset_limit) {
+      row_epoch_[s] = 0;  // repair would approach a rebuild: drop the row
+      --valid_rows_;
+      continue;
+    }
+    stats_.repair_visits += repair_row(s, dmin);
+    ++stats_.rows_repaired;
+  }
+  return true;
+}
+
+std::size_t LinkStateRouting::repair_row(core::NodeId s, int dmin) const {
+  const std::size_t n = snapshot_.size();
+  int* dist = dist_.data() + static_cast<std::size_t>(s) * n;
+  core::NodeId* next = next_.data() + static_cast<std::size_t>(s) * n;
+  std::uint32_t* order = order_.data() + static_cast<std::size_t>(s) * n;
+  // Reset everything past dmin and gather the dist == dmin frontier in
+  // stored discovery order — the exact order a fresh build would process
+  // that level in, which is what makes repair bit-identical to rebuild.
+  frontier_.clear();
+  for (std::size_t d = 0; d < n; ++d) {
+    if (dist[d] > dmin) {
+      dist[d] = kUnreachable;
+      next[d] = core::kInvalidNode;
+    } else if (dist[d] == dmin) {
+      frontier_.emplace_back(order[d], static_cast<core::NodeId>(d));
+    }
+  }
+  std::sort(frontier_.begin(), frontier_.end());
+  bfs_queue_.clear();
+  for (const auto& f : frontier_) bfs_queue_.push_back(f.second);
+  // Continue the level-order walk over the reset region. Discovery order
+  // within each repaired level is assigned afresh; kept and repaired
+  // vertices never share a level (kept <= dmin < repaired), so the
+  // per-level single-pass invariant the next repair relies on holds.
+  std::uint32_t ord = 0;
+  for (std::size_t head = 0; head < bfs_queue_.size(); ++head) {
+    const core::NodeId u = bfs_queue_[head];
+    snapshot_.neighbors_into(u, bfs_nbrs_);
+    for (core::NodeId v : bfs_nbrs_) {
+      if (dist[v] != kUnreachable) continue;
+      dist[v] = dist[u] + 1;
+      next[v] = (u == s) ? v : next[u];
+      order[v] = ord++;
+      bfs_queue_.push_back(v);
+    }
+  }
+  return bfs_queue_.size();  // frontier seeds + re-derived vertices
 }
 
 void LinkStateRouting::maybe_oracle_refresh() const {
@@ -72,6 +223,7 @@ void LinkStateRouting::ensure_row(core::NodeId s) const {
   const std::size_t n = snapshot_.size();
   int* dist = dist_.data() + static_cast<std::size_t>(s) * n;
   core::NodeId* next = next_.data() + static_cast<std::size_t>(s) * n;
+  std::uint32_t* order = order_.data() + static_cast<std::size_t>(s) * n;
   for (std::size_t d = 0; d < n; ++d) {
     dist[d] = kUnreachable;
     next[d] = core::kInvalidNode;
@@ -79,7 +231,10 @@ void LinkStateRouting::ensure_row(core::NodeId s) const {
   // BFS over the snapshot's unit-cost range graph, carrying the first hop
   // forward: next[v] inherits next[u] (or v itself when u is the source),
   // which walks out to the same first hop the old parent-chain walk found.
+  // The discovery order is recorded per vertex so a later repair can
+  // replay any level's frontier in exactly this order.
   dist[s] = 0;
+  order[s] = 0;
   bfs_queue_.clear();
   bfs_queue_.push_back(s);
   for (std::size_t head = 0; head < bfs_queue_.size(); ++head) {
@@ -89,10 +244,12 @@ void LinkStateRouting::ensure_row(core::NodeId s) const {
       if (dist[v] != kUnreachable) continue;
       dist[v] = dist[u] + 1;
       next[v] = (u == s) ? v : next[u];
+      order[v] = static_cast<std::uint32_t>(bfs_queue_.size());
       bfs_queue_.push_back(v);
     }
   }
-  row_epoch_[s] = epoch_;
+  row_epoch_[s] = epoch_;  // was invalid (checked on entry): one more valid
+  ++valid_rows_;
   ++stats_.rows_built;
 }
 

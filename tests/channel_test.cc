@@ -84,6 +84,61 @@ TEST(Channel, TimeMovesForwardLazily) {
   EXPECT_NO_THROW(ch.in_bad_state(0, 1, 100000.0));
 }
 
+TEST(Channel, StatsCountLinksAndLookups) {
+  auto c = cfg();
+  c.expected_links = 256;
+  Channel ch(c, sim::Rng(5));
+  // 8 undirected links, both directions exercised.
+  for (core::NodeId a = 0; a < 8; ++a) {
+    (void)ch.transmission_lost(a, a + 1, 1.0);
+    (void)ch.transmission_lost(a + 1, a, 1.0);
+  }
+  const ChannelStats st = ch.stats();
+  EXPECT_EQ(st.dwell_links, 8u);    // (a,b) and (b,a) share dwell state
+  EXPECT_EQ(st.loss_streams, 16u);  // but draw from directed streams
+  EXPECT_EQ(st.dwell.inserts, 8u);
+  EXPECT_EQ(st.loss.inserts, 16u);
+  EXPECT_EQ(st.dwell.lookups, 16u);
+  EXPECT_EQ(st.loss.lookups, 16u);
+  // The reserve held: no rehash, short probe runs.
+  EXPECT_EQ(st.dwell.rehashes, 0u);
+  EXPECT_EQ(st.loss.rehashes, 0u);
+  EXPECT_LT(st.dwell.probe_hw, 16u);
+}
+
+TEST(Channel, DeterministicUnderPermutedCreationOrder) {
+  // Two replicas of the same channel touch the same links in opposite
+  // orders. Every per-link stream is derived from the master rng by key,
+  // so neither dwell timelines nor loss draws may depend on creation
+  // order — the property the sharded runner's per-shard replicas and the
+  // committed baselines rest on.
+  Channel fwd(cfg(), sim::Rng(11));
+  Channel rev(cfg(), sim::Rng(11));
+  const int kLinks = 12;
+  for (int i = 0; i < kLinks; ++i)
+    (void)fwd.in_bad_state(i, i + 1, 0.0);
+  for (int i = kLinks - 1; i >= 0; --i)
+    (void)rev.in_bad_state(i, i + 1, 0.0);
+  // Dwell timelines agree at arbitrary later times.
+  for (int i = 0; i < kLinks; ++i)
+    for (double t : {1.0, 17.0, 250.0, 4000.0})
+      EXPECT_EQ(fwd.in_bad_state(i, i + 1, t), rev.in_bad_state(i, i + 1, t))
+          << "link " << i << " at t=" << t;
+  // Loss draws agree per directed stream when the interleaving differs:
+  // fwd drains link 0 then link 5; rev alternates.
+  Channel f2(cfg(), sim::Rng(13));
+  Channel r2(cfg(), sim::Rng(13));
+  std::vector<bool> f0, f5, r0, r5;
+  for (int k = 0; k < 64; ++k) f0.push_back(f2.transmission_lost(0, 1, 5.0));
+  for (int k = 0; k < 64; ++k) f5.push_back(f2.transmission_lost(5, 6, 5.0));
+  for (int k = 0; k < 64; ++k) {
+    r5.push_back(r2.transmission_lost(5, 6, 5.0));
+    r0.push_back(r2.transmission_lost(0, 1, 5.0));
+  }
+  EXPECT_EQ(f0, r0);
+  EXPECT_EQ(f5, r5);
+}
+
 TEST(Channel, RejectsBadConfig) {
   auto c = cfg();
   c.bad_fraction = 1.0;

@@ -138,6 +138,64 @@ TEST(TopologyGridIndex, NeighborsMatchBruteForceAfterChurn) {
   expect_index_matches_brute_force(t, "after churn");
 }
 
+TEST(TopologyMovedSince, ReportsDistinctMoversAscending) {
+  Topology t(10, 40.0);
+  const std::uint64_t gen = t.generation();
+  t.set_position(5, {10.0, 0.0});
+  t.set_position(2, {20.0, 0.0});
+  t.set_position(5, {30.0, 0.0});  // repeat mover: reported once
+  std::vector<core::NodeId> moved;
+  ASSERT_TRUE(t.moved_since(gen, moved));
+  EXPECT_EQ(moved, (std::vector<core::NodeId>{2, 5}));
+}
+
+TEST(TopologyMovedSince, CurrentGenerationYieldsEmptySet) {
+  Topology t(4, 40.0);
+  t.set_position(1, {5.0, 5.0});
+  std::vector<core::NodeId> moved{99};
+  ASSERT_TRUE(t.moved_since(t.generation(), moved));
+  EXPECT_TRUE(moved.empty());
+}
+
+TEST(TopologyMovedSince, FutureGenerationIsUnanswerable) {
+  Topology t(4, 40.0);
+  std::vector<core::NodeId> moved;
+  EXPECT_FALSE(t.moved_since(t.generation() + 1, moved));
+}
+
+TEST(TopologyMovedSince, OverflowReturnsFalseAtExactBoundary) {
+  Topology t(4, 40.0);
+  const std::size_t cap = t.move_history_capacity();
+  const std::uint64_t gen = t.generation();
+  std::vector<core::NodeId> moved;
+  // Fill the ring exactly: still answerable.
+  for (std::size_t i = 0; i < cap; ++i)
+    t.set_position(static_cast<core::NodeId>(i % 4),
+                   {static_cast<double>(i), 0.0});
+  ASSERT_TRUE(t.moved_since(gen, moved));
+  EXPECT_EQ(moved.size(), 4u);
+  // One more move pushes the window past the ring: unanswerable.
+  t.set_position(0, {1.0, 1.0});
+  EXPECT_FALSE(t.moved_since(gen, moved));
+  // A narrower window inside the ring still works.
+  ASSERT_TRUE(t.moved_since(t.generation() - 1, moved));
+  EXPECT_EQ(moved, (std::vector<core::NodeId>{0}));
+}
+
+TEST(TopologyMovedSince, CopyCarriesItsOwnHistory) {
+  Topology t(4, 40.0);
+  t.set_position(3, {10.0, 0.0});
+  const Topology copy = t;
+  const std::uint64_t gen = copy.generation();
+  t.set_position(1, {20.0, 0.0});  // original moves on; copy is frozen
+  std::vector<core::NodeId> moved;
+  ASSERT_TRUE(copy.moved_since(gen, moved));
+  EXPECT_TRUE(moved.empty());
+  std::vector<core::NodeId> orig_moved;
+  ASSERT_TRUE(t.moved_since(gen, orig_moved));
+  EXPECT_EQ(orig_moved, (std::vector<core::NodeId>{1}));
+}
+
 TEST(TopologyGridIndex, RangeBoundaryIsInclusiveAcrossCells) {
   // Two nodes exactly one range apart land in different cells; the index
   // must keep the <= boundary the scan had.
