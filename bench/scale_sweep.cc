@@ -153,9 +153,8 @@ int main(int argc, char** argv) {
   for (const mac::Mac m : macs) {
     auto spec = base;
     spec.mac = m;
-    // CSMA's shared carrier cannot shard; run it on the classic loop so
-    // the MAC sweep stays complete under --shards N.
-    if (m == mac::Mac::kCsma) spec.shards = 1;
+    // Every MAC shards now — CSMA runs per-strip carrier domains coupled
+    // through boundary mirrors, byte-identical to the shared-carrier loop.
 
     // Deterministic mode keeps only shard-count-invariant results: what
     // the simulation computed, never how the work was split (per-shard
@@ -239,31 +238,34 @@ int main(int argc, char** argv) {
   }
 
   // Mobile leg: the same field under 1 m/s random waypoint (the
-  // scale_mobile preset), one report per MAC. Mobility pins shards = 1,
-  // so the incremental-repair counters are shard-invariant *results* —
-  // what the control plane computed, not how work was split — and stay
-  // in the --deterministic CSV. Skipped when the base sweep is already
-  // mobile (speed=... given via --scenario): the static legs above then
-  // carry the churn, and this would duplicate them.
+  // scale_mobile preset), one report per MAC, sharded like the static
+  // legs (per-shard trajectory replicas + epoch-barrier migration).
+  // The incremental-repair counters depend on which rows each shard's
+  // replica has cached — how the work was split, not what the run
+  // computed — so they sit with the other K-dependent diagnostics
+  // outside the --deterministic CSV. Skipped when the base sweep is
+  // already mobile (speed=... given via --scenario): the static legs
+  // above then carry the churn, and this would duplicate them.
   if (base.speed_mps == 0.0) {
     for (const mac::Mac m : macs) {
       auto spec = base;
       spec.mac = m;
       spec.speed_mps = 1.0;
-      spec.shards = 1;  // mobility requires the classic single loop
       std::vector<sim::Column> cols{{"net_size", 0}};
       if (!deterministic) cols.push_back({"wall_s", 2, true});
       cols.push_back({"pkts", 0});
       for (const auto& c : std::vector<sim::Column>{{"xmits", 0},
                                                     {"refreshes", 0},
                                                     {"snapshots", 0},
-                                                    {"rows_kept", 0},
-                                                    {"rows_repaired", 0},
-                                                    {"repair_visits", 0},
                                                     {"jain", 3},
                                                     {"p99_done_s", 1}})
         cols.push_back(c);
-      if (!deterministic) cols.push_back({"rows_built", 0});
+      if (!deterministic)
+        for (const auto& c : std::vector<sim::Column>{{"rows_kept", 0},
+                                                      {"rows_repaired", 0},
+                                                      {"repair_visits", 0},
+                                                      {"rows_built", 0}})
+          cols.push_back(c);
       auto rep = bench::make_report(opt, "mobile mac=" + mac::mac_name(m),
                                     std::move(cols), 16,
                                     "mobile_" + mac::mac_name(m));
@@ -282,12 +284,14 @@ int main(int argc, char** argv) {
         row.push_back(mean_of(runs, &ScaleRun::transmissions));
         row.push_back(mean_of(runs, &ScaleRun::refreshes));
         row.push_back(mean_of(runs, &ScaleRun::snapshots));
-        row.push_back(mean_of(runs, &ScaleRun::rows_kept));
-        row.push_back(mean_of(runs, &ScaleRun::rows_repaired));
-        row.push_back(mean_of(runs, &ScaleRun::repair_visits));
         row.push_back(mean_of(runs, &ScaleRun::jain));
         row.push_back(mean_of(runs, &ScaleRun::p99_s));
-        if (!deterministic) row.push_back(mean_of(runs, &ScaleRun::rows_built));
+        if (!deterministic) {
+          row.push_back(mean_of(runs, &ScaleRun::rows_kept));
+          row.push_back(mean_of(runs, &ScaleRun::rows_repaired));
+          row.push_back(mean_of(runs, &ScaleRun::repair_visits));
+          row.push_back(mean_of(runs, &ScaleRun::rows_built));
+        }
         rep.row(row);
       }
       bench::finish_report(rep);

@@ -38,7 +38,16 @@ void BbrModel::on_sample(const core::RateSample& s, double now,
   }
 
   bw_.on_sample(s, round_);
-  if (s.rtt_s > 0.0) rtt_.update(s.rtt_s, now);
+  if (s.rtt_s > 0.0) {
+    rtt_.update(s.rtt_s, now);
+    // Staleness is judged on the incoming samples, not the filter's
+    // remembered output: only a *measurement* at-or-below the floor
+    // proves the floor is still the path's propagation delay.
+    if (min_rtt_seen_ < 0.0 || s.rtt_s <= min_rtt_seen_) {
+      min_rtt_seen_ = s.rtt_s;
+      min_rtt_stamp_ = now;
+    }
+  }
 
   // Full-pipe detection: bw must grow ≥ full_bw_thresh per round to keep
   // startup alive; app-limited rounds prove nothing about the pipe.
@@ -71,6 +80,34 @@ void BbrModel::on_sample(const core::RateSample& s, double now,
       cycle_stamp_ = now;
     }
   }
+
+  // probe_rtt: the RTT floor went a full window without any sample
+  // matching it — every recent sample rode a standing queue, so the
+  // model's min-RTT is (or is about to become) a queueing artifact.
+  // Drop to the cwnd floor until in-flight drains, hold it there for
+  // probe_rtt_duration_s so the path shows its propagation delay, then
+  // trust whatever the probe measured.
+  if (mode_ != Mode::kProbeRtt && rtt_.has_estimate() &&
+      now - min_rtt_stamp_ > cfg_.min_rtt_window_s) {
+    mode_ = Mode::kProbeRtt;
+    probe_rtt_done_stamp_ = -1.0;
+    ++probe_rtt_count_;
+  }
+  if (mode_ == Mode::kProbeRtt) {
+    if (probe_rtt_done_stamp_ < 0.0 && in_flight <= cfg_.min_cwnd_packets)
+      probe_rtt_done_stamp_ = now + cfg_.probe_rtt_duration_s;
+    if (probe_rtt_done_stamp_ >= 0.0 && now >= probe_rtt_done_stamp_) {
+      min_rtt_seen_ = rtt_.min_rtt_s();
+      min_rtt_stamp_ = now;
+      if (filled_pipe_) {
+        mode_ = Mode::kProbeBw;
+        cycle_index_ = 0;
+        cycle_stamp_ = now;
+      } else {
+        mode_ = Mode::kStartup;
+      }
+    }
+  }
 }
 
 double BbrModel::pacing_gain() const {
@@ -81,6 +118,8 @@ double BbrModel::pacing_gain() const {
       return cfg_.drain_gain;
     case Mode::kProbeBw:
       return kCycleGains[cycle_index_ % kCycleLen];
+    case Mode::kProbeRtt:
+      return 1.0;  // no probing while the queue is meant to be empty
   }
   return 1.0;
 }
@@ -98,6 +137,9 @@ double BbrModel::bdp_packets() const {
 }
 
 std::uint64_t BbrModel::cwnd_packets() const {
+  // The probe_rtt floor overrides the BDP cap: draining the pipe is the
+  // whole point of the phase.
+  if (mode_ == Mode::kProbeRtt) return cfg_.min_cwnd_packets;
   const double bdp = bdp_packets();
   if (bdp <= 0.0) return 0;  // no model yet: sender's static cap rules
   const double gain =

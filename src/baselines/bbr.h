@@ -13,7 +13,14 @@
 //     in-flight ≤ BDP;
 //   * probe_bw: an 8-phase gain cycle {1.25, 0.75, 1, 1, 1, 1, 1, 1}
 //     advanced once per min-RTT probes for more bandwidth, then drains
-//     what the probe queued.
+//     what the probe queued;
+//   * probe_rtt: when the RTT floor goes a full min_rtt_window_s without
+//     being matched or lowered (every sample rode a standing queue), the
+//     cwnd drops to min_cwnd_packets for probe_rtt_duration_s once
+//     in-flight has drained to the floor, so the next samples measure
+//     propagation delay rather than queue; exits to probe_bw (pipe full)
+//     or back to startup. Time-gated and phase-fixed — deterministic,
+//     like the cycle start above.
 // In-flight is additionally capped at cwnd_gain × BDP. Feedback rides
 // the TCP-SACK receiver unchanged (delayed ACKs, SACK hole lists), so
 // the comparison isolates the congestion-control model: same headers,
@@ -60,12 +67,15 @@ struct BbrConfig {
   std::uint64_t bw_window_rounds = 10;
   double min_rtt_window_s = 10.0;
   std::uint64_t min_cwnd_packets = 4;
+  // probe_rtt hold: how long in-flight sits at the min_cwnd_packets
+  // floor before the refreshed RTT floor is trusted and the mode exits.
+  double probe_rtt_duration_s = 0.2;
 };
 
 // The pure BBR state machine: samples in, pacing rate / cwnd out.
 class BbrModel {
  public:
-  enum class Mode : std::uint8_t { kStartup, kDrain, kProbeBw };
+  enum class Mode : std::uint8_t { kStartup, kDrain, kProbeBw, kProbeRtt };
 
   explicit BbrModel(const BbrConfig& cfg);
 
@@ -86,6 +96,7 @@ class BbrModel {
   double min_rtt_s() const { return rtt_.min_rtt_s(); }
   std::uint64_t round_count() const { return round_; }
   std::uint64_t cycle_index() const { return cycle_index_; }
+  std::uint64_t probe_rtt_count() const { return probe_rtt_count_; }
 
  private:
   double bdp_packets() const;
@@ -104,6 +115,15 @@ class BbrModel {
 
   std::uint64_t cycle_index_ = 0;  // probe_bw phase
   double cycle_stamp_ = 0.0;       // time the current phase began
+
+  // probe_rtt bookkeeping. The tracker's windowed min self-expires, so
+  // staleness is judged here: min_rtt_stamp_ is the last time the filter
+  // showed an RTT at-or-below every one seen before (a queue inflating
+  // every sample stops refreshing it; BBR's min_rtt_stamp).
+  double min_rtt_seen_ = -1.0;
+  double min_rtt_stamp_ = 0.0;
+  double probe_rtt_done_stamp_ = -1.0;  // <0: floor not yet reached
+  std::uint64_t probe_rtt_count_ = 0;
 };
 
 class BbrSender final : public core::TransportSender {

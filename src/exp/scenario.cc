@@ -355,12 +355,8 @@ std::string validate_spec(const ScenarioSpec& s) {
     return "scenario: min_be/max_be/max_backoffs require mac=csma";
   if (s.csma_min_be > s.csma_max_be)
     return "scenario: min_be must be <= max_be";
-  if (s.shards > 1) {
-    if (s.speed_mps > 0.0)
-      return "scenario: shards > 1 requires a static topology (speed=0)";
-    if (s.mac == mac::Mac::kCsma)
-      return "scenario: shards > 1 is not supported with mac=csma";
-  }
+  // shards combines with every MAC and with mobility (shard-aware
+  // mobility + per-strip CSMA carrier domains); no cross-key limits.
   return "";
 }
 

@@ -97,7 +97,7 @@ class ReuseFactory final : public MacFactory {
 class CsmaFabric final : public MacFabric {
  public:
   explicit CsmaFabric(const MacContext& ctx)
-      : medium_(ctx.topo),
+      : medium_(ctx.topo, ctx.slot_duration_s),
         unit_(ctx.slot_duration_s),
         window_slots_(static_cast<double>(1ULL << ctx.config.csma.min_be)) {
     macs_.reserve(ctx.topo.size());
@@ -115,6 +115,13 @@ class CsmaFabric final : public MacFabric {
   }
   double frame_duration_s() const override { return unit_ * window_slots_; }
   MacStats stats() const override { return MacStats{}; }  // no coloring
+
+  void set_tx_mirror(std::function<void(const CsmaTxRecord&)> hook) override {
+    medium_.set_mirror(std::move(hook));
+  }
+  void register_remote_tx(const CsmaTxRecord& r, double now) override {
+    medium_.register_remote(r, now);
+  }
 
  private:
   CsmaMedium medium_;

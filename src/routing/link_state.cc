@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <limits>
+#include <numeric>
 #include <stdexcept>
+#include <utility>
 
 namespace jtp::routing {
 
@@ -53,10 +55,19 @@ void LinkStateRouting::refresh() {
 void LinkStateRouting::sync_view() const {
   if (topo_.generation() == snapshot_gen_) return;  // view already current
   ++stats_.snapshots;
-  if (cfg_.incremental && valid_rows_ > 0 &&
-      topo_.moved_since(snapshot_gen_, moved_scratch_) &&
-      sync_incremental(moved_scratch_))
-    return;
+  if (cfg_.incremental && valid_rows_ > 0) {
+    // The move log is a locator hint, not a correctness input: when the
+    // ring has overflowed the window (a batched 5 s sync over a mobile
+    // field logs more position writes than it holds), every node is a
+    // candidate mover, and the changed-edge diff below still measures —
+    // and gates on — the actual rewiring.
+    if (!topo_.moved_since(snapshot_gen_, moved_scratch_)) {
+      moved_scratch_.resize(snapshot_.size());
+      std::iota(moved_scratch_.begin(), moved_scratch_.end(),
+                core::NodeId{0});
+    }
+    if (sync_incremental(moved_scratch_)) return;
+  }
   sync_full();
 }
 
@@ -70,8 +81,10 @@ void LinkStateRouting::sync_full() const {
 bool LinkStateRouting::sync_incremental(
     const std::vector<core::NodeId>& moved) const {
   const std::size_t n = snapshot_.size();
-  if (static_cast<double>(moved.size()) > cfg_.repair_fraction * n)
-    return false;  // mass churn: one big invalidation beats many diffs
+  // No mover-count gate here: a batched sync (one 5 s refresh over a
+  // waypoint field) legitimately marks most nodes as moved while barely
+  // touching adjacency. The fallback decision belongs to the edge diff,
+  // computed below.
 
   // Old adjacency of every mover (against the all-old snapshot), then
   // apply the moves, then diff against the all-new adjacency. An edge can
@@ -120,6 +133,32 @@ bool LinkStateRouting::sync_incremental(
     return true;
   }
 
+  // Normalize, sort and deduplicate the raw pairs (a mover-mover edge
+  // appears twice), then bucket them per lower endpoint — a CSR index
+  // built once per sync, walked once per cached row below. The fallback
+  // gate reads this deduplicated edge count: it measures actual
+  // rewiring, which is what makes repair worthwhile or not.
+  for (auto& e : changed_edges_)
+    if (e.first > e.second) std::swap(e.first, e.second);
+  std::sort(changed_edges_.begin(), changed_edges_.end());
+  changed_edges_.erase(
+      std::unique(changed_edges_.begin(), changed_edges_.end()),
+      changed_edges_.end());
+  if (static_cast<double>(changed_edges_.size()) >
+      cfg_.repair_fraction * static_cast<double>(n))
+    return false;  // mass rewiring: one big invalidation beats many patches
+  edge_heads_.clear();
+  edge_offsets_.clear();
+  edge_partners_.clear();
+  for (const auto& e : changed_edges_) {
+    if (edge_heads_.empty() || edge_heads_.back() != e.first) {
+      edge_heads_.push_back(e.first);
+      edge_offsets_.push_back(edge_partners_.size());
+    }
+    edge_partners_.push_back(e.second);
+  }
+  edge_offsets_.push_back(edge_partners_.size());
+
   const auto reset_limit =
       static_cast<std::size_t>(cfg_.repair_fraction * static_cast<double>(n));
   for (core::NodeId s = 0; s < n; ++s) {
@@ -135,11 +174,17 @@ bool LinkStateRouting::sync_incremental(
     // divergence from the fresh build (both ends are already discovered,
     // identically, by the time either is processed).
     int dmin = kUnreachable;
-    for (const auto& e : changed_edges_) {
-      const int du = dist[e.first];
-      const int dv = dist[e.second];
-      if (du == dv) continue;  // same level (or both unreachable): no-op
-      dmin = std::min(dmin, std::min(du, dv));
+    for (std::size_t h = 0; h < edge_heads_.size() && dmin > 0; ++h) {
+      const int du = dist[edge_heads_[h]];
+      for (std::size_t j = edge_offsets_[h]; j < edge_offsets_[h + 1]; ++j) {
+        const int dv = dist[edge_partners_[j]];
+        if (du == dv) continue;  // same level (or both unreachable): no-op
+        const int lo = std::min(du, dv);
+        if (lo < dmin) {
+          dmin = lo;
+          if (dmin == 0) break;  // cannot get closer to the source
+        }
+      }
     }
     if (dmin == kUnreachable) {
       // Every changed edge is a no-op for this row: equal-level, or

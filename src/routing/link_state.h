@@ -65,10 +65,13 @@ struct RoutingConfig {
   // a knob so the before/after cost is measurable in-tree
   // (micro_perf BM_RouteRepairFullRebuild).
   bool incremental = true;
-  // Fallback threshold, as a fraction of n: a sync whose moved-node set
-  // exceeds it invalidates everything (one big BFS beats many patches),
-  // and a row whose reset region exceeds it is dropped and lazily
-  // rebuilt instead of repaired.
+  // Fallback threshold, as a fraction of n: a sync whose *changed-edge*
+  // set exceeds it invalidates everything (one big BFS beats many
+  // patches), and a row whose reset region exceeds it is dropped and
+  // lazily rebuilt instead of repaired. The gate reads the edge diff,
+  // not the mover count: a batched sync over a slow waypoint field marks
+  // nearly every node as moved while changing almost no adjacency, and
+  // falling back there would forfeit exactly the syncs repair is for.
   double repair_fraction = 0.75;
 };
 
@@ -175,6 +178,14 @@ class LinkStateRouting {
   // no-op for that row (equal-level edges never carry a discovery), so
   // the keep/repair decision filters per row at edge granularity.
   mutable std::vector<std::pair<core::NodeId, core::NodeId>> changed_edges_;
+  // The changed-edge set bucketed per endpoint (CSR over the deduplicated
+  // normalized edges), rebuilt once per incremental sync. The per-row
+  // dmin scan walks it endpoint-first — one dist load per endpoint, one
+  // per partner — instead of re-deriving both endpoints of every
+  // (duplicated) raw pair for every cached row.
+  mutable std::vector<core::NodeId> edge_heads_;
+  mutable std::vector<std::size_t> edge_offsets_;
+  mutable std::vector<core::NodeId> edge_partners_;
   mutable std::vector<std::pair<std::uint32_t, core::NodeId>> frontier_;
 
   mutable RoutingStats stats_;

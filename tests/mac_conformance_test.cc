@@ -236,7 +236,7 @@ TEST(CsmaMedium, EarlyEndingHiddenTerminalStillCollides) {
   phy::Topology topo = phy::Topology::linear(3, 30.0, 40.0);
   ASSERT_TRUE(topo.in_range(2, 1));
   ASSERT_FALSE(topo.in_range(2, 0));  // hidden from the victim's sender
-  CsmaMedium medium(topo);
+  CsmaMedium medium(topo, 0.0);
 
   const auto interferer = medium.begin_tx(2, 1, 0.0, 0.4);
   const auto victim = medium.begin_tx(0, 1, 0.2, 1.0);
@@ -248,7 +248,7 @@ TEST(CsmaMedium, EarlyEndingHiddenTerminalStillCollides) {
 
 TEST(CsmaMedium, BackToBackOrInaudibleFramesDoNotCollide) {
   phy::Topology topo = phy::Topology::linear(3, 30.0, 40.0);
-  CsmaMedium medium(topo);
+  CsmaMedium medium(topo, 0.0);
 
   // Half-open intervals: a frame ending exactly when the next begins
   // does not overlap it.
@@ -265,7 +265,7 @@ TEST(CsmaMedium, BackToBackOrInaudibleFramesDoNotCollide) {
 
 TEST(CsmaMedium, CcaTracksAudibleInFlightFramesOnly) {
   phy::Topology topo = phy::Topology::linear(3, 30.0, 40.0);
-  CsmaMedium medium(topo);
+  CsmaMedium medium(topo, 0.0);
   const auto tx = medium.begin_tx(0, 1, 0.0, 1.0);
   EXPECT_TRUE(medium.busy(1, 0.5));
   EXPECT_FALSE(medium.busy(2, 0.5));  // out of carrier range

@@ -304,8 +304,12 @@ TEST(LinkStateRouting, ZeroRepairFractionAlwaysFallsBack) {
 }
 
 // Overflowing the topology's bounded move ring between refreshes must
-// fall back to a full re-snapshot, not answer from a truncated diff.
-TEST(LinkStateRouting, MoveRingOverflowFallsBackToFullSync) {
+// not force a full re-snapshot: the mover list is only a locator hint,
+// so the router widens it to every node and lets the changed-edge diff
+// price the actual rewiring. Small wiggles that overflow the log by
+// sheer count still keep or repair the cached rows — and still match a
+// fresh router exactly.
+TEST(LinkStateRouting, MoveRingOverflowStillRepairsIncrementally) {
   sim::Rng rng(37);
   sim::Simulator sim;
   auto topo = random_field(20, 140.0, rng);
@@ -319,7 +323,7 @@ TEST(LinkStateRouting, MoveRingOverflowFallsBackToFullSync) {
   }
   r.refresh();
   expect_matches_fresh(r, topo, "after ring overflow");
-  EXPECT_EQ(r.stats().rows_kept + r.stats().rows_repaired, 0u);
+  EXPECT_GT(r.stats().rows_kept + r.stats().rows_repaired, 0u);
 }
 
 // The acceptance gate at production scale: 8 active sources on a 400-node
@@ -351,6 +355,43 @@ TEST(LinkStateRouting, SingleNodeMovesAt400KeepOrRepairRows) {
   if (r.stats().rows_repaired > 0) {
     EXPECT_LT(r.stats().repair_visits / r.stats().rows_repaired, 400u / 2);
   }
+}
+
+// Batched scattered churn: one refresh sees most of the field marked as
+// moved (a 5 s refresh over a 1 m/s waypoint field batches five update
+// ticks of nearly every node) while almost no adjacency changes. The
+// fallback gate must read the edge diff, not the mover count — tripping
+// on movers would forfeit the cache on exactly the syncs repair exists
+// for.
+TEST(LinkStateRouting, BatchedScatteredChurnKeepsRows) {
+  sim::Rng rng(43);
+  sim::Simulator sim;
+  auto topo = random_field(400, 600.0, rng);
+  LinkStateRouting r(sim, topo);
+  for (core::NodeId s = 1; s <= 8; ++s) (void)r.next_hop(s, 0);
+  const auto built = r.stats().rows_built;
+  for (int round = 0; round < 5; ++round) {
+    // 350 movers per sync: far past any mover-count gate at 0.75 * n.
+    // Small steps keep the *edge* diff scattered and sparse — the
+    // realistic shape of a batched waypoint tick, and the shape the
+    // edge-count gate must wave through.
+    for (int i = 0; i < 350; ++i) {
+      const auto id = static_cast<core::NodeId>(rng.integer(400));
+      const auto p = topo.position(id);
+      topo.set_position(id, {p.x + rng.uniform(-0.02, 0.02),
+                             p.y + rng.uniform(-0.02, 0.02)});
+    }
+    r.refresh();
+    for (core::NodeId s = 1; s <= 8; ++s) (void)r.next_hop(s, 0);
+  }
+  // Every sync kept or repaired the live rows instead of invalidating:
+  // 8 rows x 5 syncs, allowing the rare dropped row to rebuild on query.
+  // (Stats snapshot taken before the oracle sweep below, which builds
+  // every remaining row.)
+  const auto st = r.stats();
+  EXPECT_GE(st.rows_kept + st.rows_repaired, 8u * 5u - 5u);
+  EXPECT_LE(st.rows_built, built + 5);
+  expect_matches_fresh(r, topo, "after batched churn");
 }
 
 TEST(LinkStateRouting, RejectsBadRepairFraction) {

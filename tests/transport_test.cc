@@ -284,5 +284,81 @@ TEST(ExtensionSeam, BbrRunsOverTheTcpSackChannel) {
   EXPECT_GT(snd->model().bw_pps(), 0.0);
 }
 
+// --- probe_rtt --------------------------------------------------------------
+
+// Drives the pure model through a queue-inflation episode: the RTT floor
+// set early goes a full min_rtt_window_s with every later sample riding
+// a standing queue, so the model must drop to the cwnd floor, hold it
+// for probe_rtt_duration_s once in-flight drains, adopt the re-measured
+// floor and come back to probe_bw.
+TEST(BbrModel, ProbeRttFloorsCwndUntilTheFloorRefreshes) {
+  baselines::BbrConfig cfg;
+  cfg.min_rtt_window_s = 10.0;
+  cfg.probe_rtt_duration_s = 0.2;
+  cfg.min_cwnd_packets = 4;
+  baselines::BbrModel m(cfg);
+
+  double now = 0.0;
+  std::uint64_t delivered = 0;
+  const auto feed = [&](double bw_pps, double rtt_s,
+                        std::uint64_t in_flight) {
+    core::RateSample s;
+    s.valid = true;
+    s.bw_pps = bw_pps;
+    s.rtt_s = rtt_s;
+    s.delivered = 1;
+    ++delivered;
+    m.on_sample(s, now, delivered, in_flight);
+  };
+
+  // Startup -> drain -> probe_bw: flat bandwidth for full_bw_rounds
+  // rounds (each single-delivery sample closes a round here), then one
+  // sample with in-flight at the BDP (100 pps x 0.05 s = 5 packets).
+  for (int i = 0; i < 5; ++i) {
+    feed(100.0, 0.05, 50);
+    now += 0.05;
+  }
+  ASSERT_TRUE(m.filled_pipe());
+  feed(100.0, 0.05, 4);
+  ASSERT_EQ(m.mode(), baselines::BbrModel::Mode::kProbeBw);
+  EXPECT_GT(m.cwnd_packets(), cfg.min_cwnd_packets);
+
+  // A standing queue: every sample for the next window shows 0.25 s.
+  // The windowed min self-expires upward, but no sample ever matches the
+  // old floor, so the staleness clock keeps running.
+  while (now < 10.5) {
+    feed(100.0, 0.25, 20);
+    EXPECT_EQ(m.probe_rtt_count(), 0u) << "entered early at t=" << now;
+    now += 0.5;
+  }
+  feed(100.0, 0.25, 20);  // > 10 s since the floor was last seen
+  ASSERT_EQ(m.mode(), baselines::BbrModel::Mode::kProbeRtt);
+  EXPECT_EQ(m.probe_rtt_count(), 1u);
+  EXPECT_EQ(m.cwnd_packets(), cfg.min_cwnd_packets);
+  EXPECT_DOUBLE_EQ(m.pacing_gain(), 1.0);
+
+  // In-flight still above the floor: the hold clock must not start.
+  now += 0.1;
+  feed(100.0, 0.25, 10);
+  ASSERT_EQ(m.mode(), baselines::BbrModel::Mode::kProbeRtt);
+
+  // Drained to the floor: the hold starts; before it elapses the mode
+  // sticks even though the probe already measured a fresh (lower) RTT.
+  now += 0.1;
+  feed(100.0, 0.06, 4);
+  now += 0.1;  // 0.1 s into the 0.2 s hold
+  feed(100.0, 0.06, 4);
+  ASSERT_EQ(m.mode(), baselines::BbrModel::Mode::kProbeRtt);
+
+  // Hold elapsed: back to probe_bw (pipe was full), cwnd cap restored,
+  // and the re-measured floor is the model's min-RTT.
+  now += 0.15;
+  feed(100.0, 0.06, 4);
+  ASSERT_EQ(m.mode(), baselines::BbrModel::Mode::kProbeBw);
+  EXPECT_GT(m.cwnd_packets(), cfg.min_cwnd_packets);
+  EXPECT_DOUBLE_EQ(m.min_rtt_s(), 0.06);
+  EXPECT_EQ(m.probe_rtt_count(), 1u);  // no immediate re-entry
+}
+
 }  // namespace
 }  // namespace jtp
